@@ -1,0 +1,6 @@
+"""Make the benchmark helpers importable and keep benchmark runs single-shot."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,169 @@
+"""Shared machinery for the per-figure benchmark harnesses.
+
+Every benchmark regenerates the series of one figure of the paper's
+evaluation (§8) and prints them in a uniform format.  Absolute numbers are not
+expected to match the paper (the substrate is a simulator, not a 15-VM EC2
+testbed); the assertions check the *shape*: which system wins, how contention
+degrades the optimistic protocol, how mobility and domain size affect
+throughput.  Benchmarks run each figure exactly once (``pedantic`` with one
+round) because a figure is itself an aggregate over many simulated runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiment import (
+    BASELINE_AHL,
+    BASELINE_SHARPER,
+    ExperimentConfig,
+    ExperimentRunner,
+    LoadPoint,
+    SAGUARO_COORDINATOR,
+    SAGUARO_OPTIMISTIC,
+    SystemVariant,
+    paper_cross_domain_variants,
+)
+from repro.analysis.metrics import PerformanceSummary
+from repro.analysis.reporting import (
+    format_mobile_table,
+    format_series_table,
+    peak_throughput,
+)
+from repro.common.types import FailureModel
+
+__all__ = [
+    "LOAD_LEVELS",
+    "cross_domain_figure",
+    "mobile_figure",
+    "scalability_figure",
+    "run_once",
+    "paper_cross_domain_variants",
+]
+
+#: Concurrent-client counts used to sweep each throughput/latency curve.
+LOAD_LEVELS: Sequence[int] = (8, 32)
+
+#: Workload size per point — small enough to keep the whole harness fast,
+#: large enough to span several lazy-propagation rounds.
+_TRANSACTIONS = 144
+_TRANSACTIONS_BFT = 112
+
+
+def _base_config(
+    failure_model: FailureModel,
+    latency_profile: str,
+    cross_domain_ratio: float,
+    mobile_ratio: float = 0.0,
+    faults: int = 1,
+    seed: int = 2023,
+) -> ExperimentConfig:
+    return ExperimentConfig(
+        latency_profile=latency_profile,
+        failure_model=failure_model,
+        faults=faults,
+        num_transactions=(
+            _TRANSACTIONS if failure_model is FailureModel.CRASH else _TRANSACTIONS_BFT
+        ),
+        cross_domain_ratio=cross_domain_ratio,
+        mobile_ratio=mobile_ratio,
+        round_interval_ms=10.0,
+        seed=seed,
+    )
+
+
+def run_once(config: ExperimentConfig, variant: SystemVariant) -> PerformanceSummary:
+    return ExperimentRunner(config).run(variant)
+
+
+def cross_domain_figure(
+    title: str,
+    cross_domain_ratio: float,
+    failure_model: FailureModel,
+    latency_profile: str = "nearby-eu",
+    variants: Optional[List[SystemVariant]] = None,
+    load_levels: Sequence[int] = LOAD_LEVELS,
+    faults: int = 1,
+) -> Dict[str, List[LoadPoint]]:
+    """One sub-figure of Figures 7, 8, 10, 12 or 13: six system series."""
+    config = _base_config(
+        failure_model, latency_profile, cross_domain_ratio, faults=faults
+    )
+    runner = ExperimentRunner(config)
+    series: Dict[str, List[LoadPoint]] = {}
+    for variant in variants or paper_cross_domain_variants():
+        series[variant.label] = runner.sweep(variant, load_levels)
+    print()
+    print(format_series_table(series, title))
+    return series
+
+
+def mobile_figure(
+    title: str,
+    failure_model: FailureModel,
+    latency_profile: str = "nearby-eu",
+    mobile_ratios: Sequence[float] = (0.0, 0.2, 0.8, 1.0),
+    num_clients: int = 24,
+) -> Dict[str, PerformanceSummary]:
+    """Figures 9 and 11: Saguaro throughput under increasing device mobility."""
+    results: Dict[str, PerformanceSummary] = {}
+    for ratio in mobile_ratios:
+        config = _base_config(
+            failure_model, latency_profile, cross_domain_ratio=0.0, mobile_ratio=ratio
+        ).with_clients(num_clients)
+        summary = run_once(config, SystemVariant("Saguaro", SAGUARO_COORDINATOR))
+        results[f"{int(ratio * 100)}% mobile"] = summary
+    print()
+    print(format_mobile_table(results, title))
+    return results
+
+
+def scalability_figure(
+    title: str,
+    failure_model: FailureModel,
+    faults_levels: Sequence[int] = (1, 2, 4),
+    load: int = 24,
+) -> Dict[str, Dict[str, PerformanceSummary]]:
+    """Figures 12 and 13: impact of domain size (|p|) on every protocol."""
+    variants = [
+        SystemVariant("AHL", BASELINE_AHL),
+        SystemVariant("SharPer", BASELINE_SHARPER),
+        SystemVariant("Coordinator", SAGUARO_COORDINATOR),
+        SystemVariant("Optimistic", SAGUARO_OPTIMISTIC),
+    ]
+    replication = 2 if failure_model is FailureModel.CRASH else 3
+    results: Dict[str, Dict[str, PerformanceSummary]] = {}
+    print()
+    print(title)
+    print("-" * len(title))
+    for faults in faults_levels:
+        domain_size = replication * faults + 1
+        config = _base_config(
+            failure_model,
+            "lan",
+            cross_domain_ratio=0.10,
+            faults=faults,
+        ).with_clients(load)
+        row: Dict[str, PerformanceSummary] = {}
+        for variant in variants:
+            row[variant.label] = run_once(config, variant)
+        results[f"|p|={domain_size}"] = row
+        rendered = "  ".join(
+            f"{label}: {summary.throughput_tps:8.1f} tps" for label, summary in row.items()
+        )
+        print(f"|p| = {domain_size:2d}  ->  {rendered}")
+    return results
+
+
+def assert_saguaro_not_worse_than_ahl(series: Dict[str, List[LoadPoint]], slack: float = 0.85) -> None:
+    """Shape check shared by the cross-domain figures."""
+    assert peak_throughput(series["Coordinator"]) >= slack * peak_throughput(series["AHL"])
+
+
+def assert_optimistic_low_contention_wins(series: Dict[str, List[LoadPoint]]) -> None:
+    best_traditional = max(
+        peak_throughput(series["AHL"]),
+        peak_throughput(series["SharPer"]),
+        peak_throughput(series["Coordinator"]),
+    )
+    assert peak_throughput(series["Opt-10%C"]) >= best_traditional

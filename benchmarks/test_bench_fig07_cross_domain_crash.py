@@ -1,0 +1,37 @@
+"""Figure 7: cross-domain transactions, crash-only domains, nearby regions.
+
+Regenerates the three sub-figures (20%, 80%, 100% cross-domain) with the six
+series of the paper: AHL, SharPer, Coordinator, and the optimistic protocol at
+10/50/90% contention.
+"""
+
+import pytest
+
+from repro.common.types import FailureModel
+
+from figure_common import (
+    assert_optimistic_low_contention_wins,
+    assert_saguaro_not_worse_than_ahl,
+    cross_domain_figure,
+)
+
+
+@pytest.mark.parametrize("cross_ratio,label", [(0.2, "a"), (0.8, "b"), (1.0, "c")])
+def test_figure7_cross_domain_crash(benchmark, cross_ratio, label):
+    def run():
+        return cross_domain_figure(
+            title=(
+                f"Figure 7({label}): {int(cross_ratio * 100)}% cross-domain, "
+                "crash-only domains, nearby EU regions"
+            ),
+            cross_domain_ratio=cross_ratio,
+            failure_model=FailureModel.CRASH,
+            latency_profile="nearby-eu",
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Shape checks from §8.1: the hierarchical coordinator keeps up with (and
+    # at high cross-domain ratios beats) the single-committee baseline, and the
+    # optimistic protocol at low contention is the fastest system.
+    assert_saguaro_not_worse_than_ahl(series)
+    assert_optimistic_low_contention_wins(series)

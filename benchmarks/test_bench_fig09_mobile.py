@@ -1,0 +1,37 @@
+"""Figure 9: transactions initiated by mobile devices, nearby regions.
+
+Sweeps the fraction of mobile devices (0/20/80/100%) for crash-only and
+Byzantine domains and reports the throughput drop relative to the all-local
+workload — the paper reports ~25% (CFT) and ~36% (BFT) at 100% mobility.
+"""
+
+import pytest
+
+from repro.common.types import FailureModel
+
+from figure_common import mobile_figure
+
+
+@pytest.mark.parametrize(
+    "failure_model,label,max_drop",
+    [(FailureModel.CRASH, "a", 0.60), (FailureModel.BYZANTINE, "b", 0.70)],
+)
+def test_figure9_mobile_devices(benchmark, failure_model, label, max_drop):
+    def run():
+        return mobile_figure(
+            title=f"Figure 9({label}): mobile devices, {failure_model.value} domains, nearby EU",
+            failure_model=failure_model,
+            latency_profile="nearby-eu",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = results["0% mobile"].throughput_tps
+    fully_mobile = results["100% mobile"].throughput_tps
+    assert fully_mobile > 0
+    # Mobility costs something, but the state-transfer protocol amortises it
+    # over the excursion, so the drop stays bounded.
+    drop = 1.0 - fully_mobile / baseline
+    assert drop < max_drop
+    # All mobile workloads still commit everything they issued.
+    for summary in results.values():
+        assert summary.pending == 0

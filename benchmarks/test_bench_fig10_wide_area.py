@@ -1,0 +1,38 @@
+"""Figure 10: scalability over wide-area (globally distributed) domains.
+
+90% internal / 10% cross-domain workload over the seven-region placement
+(TY/HK/VA/OH edges, SU/OR fog, CA root), for crash-only and Byzantine domains.
+"""
+
+import pytest
+
+from repro.analysis.reporting import latency_at_peak, peak_throughput
+from repro.common.types import FailureModel
+
+from figure_common import cross_domain_figure
+
+
+@pytest.mark.parametrize(
+    "failure_model,label", [(FailureModel.CRASH, "a"), (FailureModel.BYZANTINE, "b")]
+)
+def test_figure10_wide_area(benchmark, failure_model, label):
+    def run():
+        return cross_domain_figure(
+            title=(
+                f"Figure 10({label}): 10% cross-domain, {failure_model.value} domains, "
+                "wide-area regions"
+            ),
+            cross_domain_ratio=0.10,
+            failure_model=failure_model,
+            latency_profile="wide-area",
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    # §8.3: the optimistic protocol (low contention) still performs best over
+    # the wide area because it commits locally, while every coordinated system
+    # pays wide-area round trips before commit.
+    assert peak_throughput(series["Opt-10%C"]) >= peak_throughput(series["Coordinator"])
+    assert latency_at_peak(series["Coordinator"]) > latency_at_peak(series["Opt-10%C"])
+    # Coordinated cross-domain commits are an order of magnitude slower here
+    # than in the nearby-EU deployment (compare Figure 7's latencies).
+    assert latency_at_peak(series["Coordinator"]) > 10.0

@@ -1,0 +1,30 @@
+"""Figure 12: fault-tolerance scalability with crash-only domains.
+
+Grows every domain from 3 to 5 and 9 nodes (f = 1, 2, 4) inside a single
+region and measures the (modest) throughput reduction of every protocol; the
+paper reports 6% / 11% drops for the coordinator-based protocol.
+"""
+
+from repro.common.types import FailureModel
+
+from figure_common import scalability_figure
+
+
+def test_figure12_domain_size_crash(benchmark):
+    def run():
+        return scalability_figure(
+            title="Figure 12: increasing crash-only domain size (|p| = 3, 5, 9)",
+            failure_model=FailureModel.CRASH,
+            faults_levels=(1, 2, 4),
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    small = results["|p|=3"]["Coordinator"].throughput_tps
+    large = results["|p|=9"]["Coordinator"].throughput_tps
+    assert large > 0
+    # Larger quorums cost something, but the degradation stays moderate.
+    assert large >= 0.5 * small
+    # Every protocol still commits its full workload at every size.
+    for row in results.values():
+        for summary in row.values():
+            assert summary.pending == 0

@@ -1,0 +1,29 @@
+"""Figure 13: fault-tolerance scalability with Byzantine domains.
+
+Grows every domain from 4 to 7 and 13 nodes (f = 1, 2, 4) inside a single
+region; quadratic PBFT message complexity makes the degradation steeper than
+in the crash-only case but it remains bounded.
+"""
+
+from repro.common.types import FailureModel
+
+from figure_common import scalability_figure
+
+
+def test_figure13_domain_size_byzantine(benchmark):
+    def run():
+        return scalability_figure(
+            title="Figure 13: increasing Byzantine domain size (|p| = 4, 7, 13)",
+            failure_model=FailureModel.BYZANTINE,
+            faults_levels=(1, 2, 4),
+            load=16,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    small = results["|p|=4"]["Coordinator"].throughput_tps
+    large = results["|p|=13"]["Coordinator"].throughput_tps
+    assert large > 0
+    assert large <= small  # bigger BFT domains are never faster
+    for row in results.values():
+        for summary in row.values():
+            assert summary.pending == 0

@@ -1,0 +1,57 @@
+"""Cross-application micropayments: coordinator vs. optimistic processing.
+
+The scenario of §2: payments within one spatial domain commit locally, while
+payments whose sender and recipient live in different spatial domains need
+cross-domain consensus.  The demo runs the same workload twice — once with the
+coordinator-based protocol and once with the optimistic protocol — and prints
+the latency/throughput difference plus the abort behaviour under contention.
+
+Run with::
+
+    python examples/micropayment_demo.py
+"""
+
+from repro import CrossDomainProtocol
+from repro.analysis.experiment import (
+    ExperimentConfig,
+    ExperimentRunner,
+    SAGUARO_COORDINATOR,
+    SAGUARO_OPTIMISTIC,
+    SystemVariant,
+)
+from repro.analysis.reporting import format_summary_row
+
+
+def run_protocol(label: str, engine: str, contention: float) -> None:
+    config = ExperimentConfig(
+        num_transactions=240,
+        num_clients=16,
+        cross_domain_ratio=0.8,
+        contention_ratio=contention,
+        latency_profile="nearby-eu",
+        round_interval_ms=10.0,
+    )
+    runner = ExperimentRunner(config)
+    summary = runner.run(SystemVariant(label=label, engine=engine))
+    print(format_summary_row(label, summary))
+
+
+def main() -> None:
+    print("80% cross-domain micropayments over the nearby-EU deployment\n")
+    print("Low contention (10% read-write conflicts):")
+    run_protocol("Coordinator", SAGUARO_COORDINATOR, contention=0.1)
+    run_protocol("Optimistic", SAGUARO_OPTIMISTIC, contention=0.1)
+
+    print("\nHigh contention (90% read-write conflicts):")
+    run_protocol("Coordinator", SAGUARO_COORDINATOR, contention=0.9)
+    run_protocol("Optimistic", SAGUARO_OPTIMISTIC, contention=0.9)
+
+    print(
+        "\nThe optimistic protocol avoids wide-area coordination before commit, "
+        "so its latency is much lower; under high contention its aborts grow "
+        "because ordering inconsistencies cascade through dependent transactions (§6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

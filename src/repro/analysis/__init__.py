@@ -1,0 +1,59 @@
+"""Metrics, experiment harness, and reporting utilities.
+
+Only the metrics primitives are re-exported eagerly; the experiment runner and
+reporting helpers live in :mod:`repro.analysis.experiment` and
+:mod:`repro.analysis.reporting` and are imported lazily on attribute access to
+avoid a circular import with :mod:`repro.core` (core nodes record metrics, and
+the experiment runner builds core deployments).
+"""
+
+from repro.analysis.metrics import MetricsCollector, PerformanceSummary, TransactionRecord
+
+__all__ = [
+    "MetricsCollector",
+    "PerformanceSummary",
+    "TransactionRecord",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "LoadPoint",
+    "SystemVariant",
+    "paper_cross_domain_variants",
+    "format_load_series",
+    "format_mobile_table",
+    "format_series_table",
+    "format_summary_row",
+    "latency_at_peak",
+    "peak_throughput",
+]
+
+_EXPERIMENT_NAMES = {
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "LoadPoint",
+    "SystemVariant",
+    "SAGUARO_COORDINATOR",
+    "SAGUARO_OPTIMISTIC",
+    "BASELINE_AHL",
+    "BASELINE_SHARPER",
+    "paper_cross_domain_variants",
+}
+_REPORTING_NAMES = {
+    "format_load_series",
+    "format_mobile_table",
+    "format_series_table",
+    "format_summary_row",
+    "latency_at_peak",
+    "peak_throughput",
+}
+
+
+def __getattr__(name):
+    if name in _EXPERIMENT_NAMES:
+        from repro.analysis import experiment
+
+        return getattr(experiment, name)
+    if name in _REPORTING_NAMES:
+        from repro.analysis import reporting
+
+        return getattr(reporting, name)
+    raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")

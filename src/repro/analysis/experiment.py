@@ -1,0 +1,264 @@
+"""Experiment harness: build a system variant, run a workload, sweep load.
+
+The paper's evaluation plots throughput-versus-latency curves obtained by
+"using an increasing number of requests until the end-to-end throughput is
+saturated" (§8).  The harness reproduces that methodology: offered load is
+controlled by the number of concurrent closed-loop clients, and each load
+level yields one (throughput, latency) point.  The same harness drives the
+Saguaro coordinator-based and optimistic protocols, the mobile-consensus
+workloads, and the AHL / SharPer baselines, so every figure's series are
+produced by identical machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import PerformanceSummary
+from repro.baselines.deployment import AHL, SHARPER, BaselineDeployment
+from repro.common.config import (
+    DeploymentConfig,
+    DomainSpec,
+    HierarchySpec,
+    RoundConfig,
+    TimerConfig,
+    WorkloadConfig,
+)
+from repro.common.types import CrossDomainProtocol, FailureModel
+from repro.core.system import SaguaroDeployment
+from repro.errors import ExperimentError
+from repro.topology.builders import build_flat_domains, build_tree
+from repro.topology.regions import placement_for_profile
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.micropayment import MicropaymentApplication
+
+__all__ = [
+    "SystemVariant",
+    "ExperimentConfig",
+    "LoadPoint",
+    "ExperimentRunner",
+    "SAGUARO_COORDINATOR",
+    "SAGUARO_OPTIMISTIC",
+    "BASELINE_AHL",
+    "BASELINE_SHARPER",
+    "paper_cross_domain_variants",
+]
+
+
+# ---------------------------------------------------------------------------
+# System variants
+# ---------------------------------------------------------------------------
+
+SAGUARO_COORDINATOR = "saguaro-coordinator"
+SAGUARO_OPTIMISTIC = "saguaro-optimistic"
+BASELINE_AHL = "baseline-ahl"
+BASELINE_SHARPER = "baseline-sharper"
+
+_ENGINES = (SAGUARO_COORDINATOR, SAGUARO_OPTIMISTIC, BASELINE_AHL, BASELINE_SHARPER)
+
+
+@dataclass(frozen=True)
+class SystemVariant:
+    """One line (series) of a paper figure."""
+
+    label: str
+    engine: str
+    contention_override: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in _ENGINES:
+            raise ExperimentError(f"unknown engine {self.engine!r}")
+
+
+def paper_cross_domain_variants() -> List[SystemVariant]:
+    """The six series of Figures 7, 8 and 10: AHL, SharPer, Coordinator, Opt-x%C."""
+    return [
+        SystemVariant(label="AHL", engine=BASELINE_AHL),
+        SystemVariant(label="SharPer", engine=BASELINE_SHARPER),
+        SystemVariant(label="Coordinator", engine=SAGUARO_COORDINATOR),
+        SystemVariant(
+            label="Opt-10%C", engine=SAGUARO_OPTIMISTIC, contention_override=0.10
+        ),
+        SystemVariant(
+            label="Opt-50%C", engine=SAGUARO_OPTIMISTIC, contention_override=0.50
+        ),
+        SystemVariant(
+            label="Opt-90%C", engine=SAGUARO_OPTIMISTIC, contention_override=0.90
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Experiment configuration and results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything one experiment point needs besides the system variant."""
+
+    latency_profile: str = "nearby-eu"
+    failure_model: FailureModel = FailureModel.CRASH
+    faults: int = 1
+    num_transactions: int = 240
+    num_clients: int = 12
+    cross_domain_ratio: float = 0.2
+    contention_ratio: float = 0.1
+    mobile_ratio: float = 0.0
+    accounts_per_domain: int = 256
+    hot_accounts_per_domain: int = 4
+    mobile_txns_per_excursion: int = 10
+    round_interval_ms: float = 25.0
+    seed: int = 2023
+    think_time_ms: float = 0.5
+
+    def with_clients(self, num_clients: int) -> "ExperimentConfig":
+        return replace(self, num_clients=num_clients)
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One point of a throughput-versus-latency curve."""
+
+    clients: int
+    throughput_tps: float
+    avg_latency_ms: float
+    p95_latency_ms: float
+    abort_rate: float
+    summary: PerformanceSummary
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.throughput_tps, self.avg_latency_ms)
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+class ExperimentRunner:
+    """Builds deployments for system variants and runs workloads against them."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+
+    # -- building blocks -----------------------------------------------------------
+
+    def _domain_spec(self) -> DomainSpec:
+        return DomainSpec(
+            failure_model=self.config.failure_model, faults=self.config.faults
+        )
+
+    def _deployment_config(self, protocol: CrossDomainProtocol) -> DeploymentConfig:
+        return DeploymentConfig(
+            hierarchy=HierarchySpec(default_spec=self._domain_spec()),
+            protocol=protocol,
+            latency_profile=self.config.latency_profile,
+            rounds=RoundConfig(height1_interval_ms=self.config.round_interval_ms),
+            timers=TimerConfig(),
+            seed=self.config.seed,
+        )
+
+    def _workload_config(self, variant: SystemVariant) -> WorkloadConfig:
+        contention = (
+            variant.contention_override
+            if variant.contention_override is not None
+            else self.config.contention_ratio
+        )
+        return WorkloadConfig(
+            num_transactions=self.config.num_transactions,
+            cross_domain_ratio=self.config.cross_domain_ratio,
+            contention_ratio=contention,
+            mobile_ratio=self.config.mobile_ratio,
+            accounts_per_domain=self.config.accounts_per_domain,
+            hot_accounts_per_domain=self.config.hot_accounts_per_domain,
+            mobile_txns_per_excursion=self.config.mobile_txns_per_excursion,
+            seed=self.config.seed,
+        )
+
+    def _deployment_config_for(self, variant: SystemVariant) -> DeploymentConfig:
+        if variant.engine == SAGUARO_OPTIMISTIC:
+            return self._deployment_config(CrossDomainProtocol.OPTIMISTIC)
+        return self._deployment_config(CrossDomainProtocol.COORDINATOR)
+
+    def _build_hierarchy(self, variant: SystemVariant, config: DeploymentConfig):
+        if variant.engine in (BASELINE_AHL, BASELINE_SHARPER):
+            hierarchy = build_flat_domains(
+                config.hierarchy.num_height1_domains, self._domain_spec()
+            )
+        else:
+            hierarchy = build_tree(config.hierarchy)
+        return placement_for_profile(hierarchy, self.config.latency_profile)
+
+    def prepare(self, variant: SystemVariant):
+        """Build the deployment and workload for ``variant`` without running.
+
+        The workload is generated (and its clients registered with the
+        application) *before* the deployment instantiates nodes, so that every
+        mobile device's personal account exists in its home domain's state.
+        """
+        deployment_config = self._deployment_config_for(variant)
+        hierarchy = self._build_hierarchy(variant, deployment_config)
+        workload_config = self._workload_config(variant)
+        workload = WorkloadGenerator(
+            hierarchy, workload_config, num_clients=self.config.num_clients
+        ).generate()
+        application = MicropaymentApplication(
+            accounts_per_domain=self.config.accounts_per_domain
+        )
+        workload.configure_application(application)
+        if variant.engine in (BASELINE_AHL, BASELINE_SHARPER):
+            system = AHL if variant.engine == BASELINE_AHL else SHARPER
+            deployment = BaselineDeployment(
+                system=system,
+                config=deployment_config,
+                application=application,
+                hierarchy=hierarchy,
+            )
+        else:
+            deployment = SaguaroDeployment(
+                config=deployment_config,
+                application=application,
+                hierarchy=hierarchy,
+            )
+        return deployment, workload
+
+    def build_deployment(self, variant: SystemVariant):
+        """Construct just the deployment for ``variant`` (tests, examples)."""
+        deployment, _workload = self.prepare(variant)
+        return deployment
+
+    # -- running -----------------------------------------------------------------------
+
+    def run(self, variant: SystemVariant) -> PerformanceSummary:
+        """Run one (variant, load) point and return its summary."""
+        deployment, workload = self.prepare(variant)
+        return deployment.run_workload(
+            workload.transactions, think_time_ms=self.config.think_time_ms
+        )
+
+    def run_point(self, variant: SystemVariant, num_clients: int) -> LoadPoint:
+        runner = ExperimentRunner(self.config.with_clients(num_clients))
+        summary = runner.run(variant)
+        return LoadPoint(
+            clients=num_clients,
+            throughput_tps=summary.throughput_tps,
+            avg_latency_ms=summary.avg_latency_ms,
+            p95_latency_ms=summary.p95_latency_ms,
+            abort_rate=summary.abort_rate,
+            summary=summary,
+        )
+
+    def sweep(
+        self, variant: SystemVariant, client_counts: Sequence[int]
+    ) -> List[LoadPoint]:
+        """Sweep offered load: one point per concurrent-client count."""
+        return [self.run_point(variant, clients) for clients in client_counts]
+
+    def sweep_all(
+        self, variants: Sequence[SystemVariant], client_counts: Sequence[int]
+    ) -> Dict[str, List[LoadPoint]]:
+        return {
+            variant.label: self.sweep(variant, client_counts) for variant in variants
+        }

@@ -1,0 +1,23 @@
+"""Baseline systems the paper compares against: AHL and SharPer."""
+
+from repro.baselines.ahl import AhlReferenceCommitteeProtocol
+from repro.baselines.deployment import AHL, SHARPER, BaselineDeployment
+from repro.baselines.sharper import (
+    SharperAbort,
+    SharperCommit,
+    SharperCrossShardProtocol,
+    SharperPropose,
+    SharperVote,
+)
+
+__all__ = [
+    "AhlReferenceCommitteeProtocol",
+    "BaselineDeployment",
+    "AHL",
+    "SHARPER",
+    "SharperCrossShardProtocol",
+    "SharperPropose",
+    "SharperVote",
+    "SharperCommit",
+    "SharperAbort",
+]

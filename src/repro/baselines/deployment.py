@@ -1,0 +1,66 @@
+"""Deployments for the baseline systems (AHL and SharPer).
+
+Both baselines run over a flat set of shards (clusters): there is no edge
+hierarchy, no lazy propagation, and no mobile consensus — exactly the
+structure the paper compares Saguaro against.  A two-level topology is built
+whose height-1 domains are the shards; its root doubles as AHL's reference
+committee and is simply idle under SharPer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.ahl import AhlReferenceCommitteeProtocol
+from repro.baselines.sharper import SharperCrossShardProtocol
+from repro.common.config import DeploymentConfig, DomainSpec
+from repro.core.application import Application
+from repro.core.internal import InternalTransactionProtocol
+from repro.core.node import SaguaroNode
+from repro.core.system import SaguaroDeployment
+from repro.errors import ConfigurationError
+from repro.topology.builders import build_flat_domains
+from repro.topology.regions import placement_for_profile
+
+__all__ = ["BaselineDeployment", "AHL", "SHARPER"]
+
+AHL = "ahl"
+SHARPER = "sharper"
+
+
+class BaselineDeployment(SaguaroDeployment):
+    """A flat-sharded deployment running either the AHL or SharPer protocol."""
+
+    def __init__(
+        self,
+        system: str,
+        config: Optional[DeploymentConfig] = None,
+        application: Optional[Application] = None,
+        num_shards: int = 4,
+        shard_spec: Optional[DomainSpec] = None,
+        hierarchy=None,
+    ) -> None:
+        if system not in (AHL, SHARPER):
+            raise ConfigurationError(f"unknown baseline system {system!r}")
+        self.system = system
+        config = config or DeploymentConfig()
+        if hierarchy is None:
+            spec = shard_spec or config.hierarchy.default_spec
+            hierarchy = build_flat_domains(num_shards, spec)
+            placement_for_profile(hierarchy, config.latency_profile)
+        super().__init__(config=config, application=application, hierarchy=hierarchy)
+
+    def _register_components(self, node: SaguaroNode) -> None:
+        if self.system == AHL:
+            # The cross-shard component runs everywhere: shards act as 2PC
+            # participants, the root domain acts as the reference committee.
+            node.register_component(AhlReferenceCommitteeProtocol(node))
+        elif node.is_height1:
+            node.register_component(SharperCrossShardProtocol(node))
+        if node.is_height1:
+            node.register_component(InternalTransactionProtocol(node))
+
+    @property
+    def reference_committee_domain(self):
+        """The committee (root) domain; meaningful for AHL deployments."""
+        return self.hierarchy.root

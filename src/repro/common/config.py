@@ -1,0 +1,244 @@
+"""Configuration dataclasses for deployments, protocols, and cost models.
+
+Every tunable in the library is collected here so that experiments are fully
+described by a small number of serialisable configuration objects.  All
+configurations validate themselves on construction and raise
+:class:`~repro.errors.ConfigurationError` on inconsistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.common.types import CrossDomainProtocol, FailureModel
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "NodeCostModel",
+    "TimerConfig",
+    "RoundConfig",
+    "DomainSpec",
+    "HierarchySpec",
+    "DeploymentConfig",
+    "WorkloadConfig",
+    "DEFAULT_CRASH_COSTS",
+    "DEFAULT_BYZANTINE_COSTS",
+]
+
+
+@dataclass(frozen=True)
+class NodeCostModel:
+    """CPU cost model of a server node (all times in milliseconds).
+
+    A node is simulated as a single-server FIFO queue: handling a protocol
+    message occupies the node for ``base_handling_ms`` plus the cost of the
+    cryptographic work the message requires.  Verifying a quorum certificate
+    costs one verification per contained signature.
+    """
+
+    base_handling_ms: float = 0.02
+    sign_ms: float = 0.012
+    verify_ms: float = 0.015
+    execute_ms: float = 0.01
+    hash_ms: float = 0.002
+
+    def __post_init__(self) -> None:
+        for name in ("base_handling_ms", "sign_ms", "verify_ms", "execute_ms", "hash_ms"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    def certificate_verify_ms(self, signatures: int) -> float:
+        """Cost of verifying a certificate carrying ``signatures`` signatures."""
+        if signatures < 0:
+            raise ConfigurationError("signatures must be non-negative")
+        return self.verify_ms * signatures
+
+
+#: Default cost models.  Byzantine domains pay more per message because every
+#: protocol message carries signatures that must be created and verified,
+#: while crash-only domains can rely on cheap MACs.  The absolute values are
+#: calibrated so that a node saturates at a few thousand protocol messages per
+#: second, which keeps load sweeps (tens of closed-loop clients) cheap to
+#: simulate while still producing the throughput plateaus and latency knees
+#: the paper's figures show.
+DEFAULT_CRASH_COSTS = NodeCostModel(
+    base_handling_ms=0.05, sign_ms=0.008, verify_ms=0.012, execute_ms=0.02, hash_ms=0.002
+)
+DEFAULT_BYZANTINE_COSTS = NodeCostModel(
+    base_handling_ms=0.05, sign_ms=0.025, verify_ms=0.035, execute_ms=0.02, hash_ms=0.002
+)
+
+
+@dataclass(frozen=True)
+class TimerConfig:
+    """Protocol timers (milliseconds).
+
+    ``cross_domain_timeout_ms`` is the LCA/participant timer after which a
+    coordinator aborts and retries a cross-domain transaction (deadlock
+    resolution, §4.1); ``deadlock_backoff_ms`` staggers the retry per domain so
+    that two coordinators do not collide again immediately.
+    """
+
+    request_timeout_ms: float = 2_000.0
+    cross_domain_timeout_ms: float = 800.0
+    deadlock_backoff_ms: float = 40.0
+    commit_query_timeout_ms: float = 800.0
+    view_change_timeout_ms: float = 1_000.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "request_timeout_ms",
+            "cross_domain_timeout_ms",
+            "deadlock_backoff_ms",
+            "commit_query_timeout_ms",
+            "view_change_timeout_ms",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class RoundConfig:
+    """Lazy-propagation round intervals (§5), in milliseconds.
+
+    ``height1_interval_ms`` is the interval at which height-1 domains emit
+    ``block`` messages.  Higher levels multiply the interval of the level below
+    by ``interval_growth`` (the paper's example uses a factor of two).  The
+    optimistic protocol typically uses a smaller interval to detect
+    inconsistencies earlier; that is expressed by constructing a second
+    ``RoundConfig``.
+    """
+
+    height1_interval_ms: float = 50.0
+    interval_growth: float = 2.0
+    max_rounds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.height1_interval_ms <= 0:
+            raise ConfigurationError("height1_interval_ms must be positive")
+        if self.interval_growth < 1.0:
+            raise ConfigurationError("interval_growth must be >= 1")
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1 when given")
+
+    def interval_for_height(self, height: int) -> float:
+        """Round interval for a domain at ``height`` (height >= 1)."""
+        if height < 1:
+            raise ConfigurationError("rounds only apply to height >= 1 domains")
+        return self.height1_interval_ms * (self.interval_growth ** (height - 1))
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """Static description of one domain: failure model and tolerated faults."""
+
+    failure_model: FailureModel = FailureModel.CRASH
+    faults: int = 1
+    region: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.faults < 0:
+            raise ConfigurationError("faults must be non-negative")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.failure_model.replication_factor * self.faults + 1
+
+
+@dataclass(frozen=True)
+class HierarchySpec:
+    """Shape of the domain tree.
+
+    The default (``levels=4, branching=2, leaf_domains=4``) is the paper's
+    perfect-binary-tree deployment of Figure 1: four height-1 domains, two
+    height-2 domains, one height-3 root, plus one leaf (height-0) domain per
+    height-1 domain.
+    """
+
+    levels: int = 4
+    branching: int = 2
+    clients_per_leaf: int = 8
+    default_spec: DomainSpec = field(default_factory=DomainSpec)
+    per_domain: Dict[str, DomainSpec] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ConfigurationError("hierarchy needs at least two levels")
+        if self.branching < 1:
+            raise ConfigurationError("branching must be >= 1")
+        if self.clients_per_leaf < 1:
+            raise ConfigurationError("clients_per_leaf must be >= 1")
+
+    @property
+    def num_height1_domains(self) -> int:
+        """Number of height-1 (edge-server) domains in the tree."""
+        return self.branching ** (self.levels - 2)
+
+    def spec_for(self, domain_name: str) -> DomainSpec:
+        """Domain spec for ``domain_name``, falling back to the default."""
+        return self.per_domain.get(domain_name, self.default_spec)
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Everything needed to build and run one Saguaro deployment."""
+
+    hierarchy: HierarchySpec = field(default_factory=HierarchySpec)
+    protocol: CrossDomainProtocol = CrossDomainProtocol.COORDINATOR
+    timers: TimerConfig = field(default_factory=TimerConfig)
+    rounds: RoundConfig = field(default_factory=RoundConfig)
+    crash_costs: NodeCostModel = DEFAULT_CRASH_COSTS
+    byzantine_costs: NodeCostModel = DEFAULT_BYZANTINE_COSTS
+    latency_profile: str = "nearby-eu"
+    seed: int = 2023
+
+    def costs_for(self, model: FailureModel) -> NodeCostModel:
+        if model is FailureModel.CRASH:
+            return self.crash_costs
+        return self.byzantine_costs
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Workload mix used by the generator and the experiment harness.
+
+    ``cross_domain_ratio`` — fraction of transactions that touch two height-1
+    domains; ``contention_ratio`` — fraction of transactions that read/write a
+    small hot set of accounts (the paper's 10/50/90 % read-write-conflict
+    knob); ``mobile_ratio`` — fraction of transactions issued by a device while
+    visiting a remote domain.
+    """
+
+    num_transactions: int = 400
+    cross_domain_ratio: float = 0.0
+    contention_ratio: float = 0.1
+    mobile_ratio: float = 0.0
+    hot_accounts_per_domain: int = 4
+    accounts_per_domain: int = 256
+    mobile_txns_per_excursion: int = 10
+    involved_domains: int = 2
+    initial_balance: int = 1_000_000
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        ratios: Tuple[Tuple[str, float], ...] = (
+            ("cross_domain_ratio", self.cross_domain_ratio),
+            ("contention_ratio", self.contention_ratio),
+            ("mobile_ratio", self.mobile_ratio),
+        )
+        for name, value in ratios:
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be within [0, 1]")
+        if self.num_transactions < 1:
+            raise ConfigurationError("num_transactions must be >= 1")
+        if self.involved_domains < 2:
+            raise ConfigurationError("cross-domain transactions involve >= 2 domains")
+        if self.accounts_per_domain < self.hot_accounts_per_domain:
+            raise ConfigurationError(
+                "accounts_per_domain must be >= hot_accounts_per_domain"
+            )
+        if self.mobile_txns_per_excursion < 1:
+            raise ConfigurationError("mobile_txns_per_excursion must be >= 1")
+        if self.initial_balance < 0:
+            raise ConfigurationError("initial_balance must be non-negative")

@@ -1,0 +1,43 @@
+"""Internal (intra-domain) consensus: Paxos for CFT domains, PBFT for BFT ones."""
+
+from repro.consensus.base import ConsensusEngine, ConsensusHost, DecisionLog
+from repro.consensus.messages import (
+    ConsensusMessage,
+    NewView,
+    PaxosAccept,
+    PaxosAccepted,
+    PaxosLearn,
+    PbftCommit,
+    PbftPrePrepare,
+    PbftPrepare,
+    ViewChange,
+)
+from repro.consensus.paxos import PaxosEngine
+from repro.consensus.pbft import PbftEngine
+from repro.common.types import FailureModel
+
+
+def engine_for(host) -> ConsensusEngine:
+    """Instantiate the engine matching the host domain's failure model."""
+    if host.hosted_domain.failure_model is FailureModel.CRASH:
+        return PaxosEngine(host)
+    return PbftEngine(host)
+
+
+__all__ = [
+    "ConsensusEngine",
+    "ConsensusHost",
+    "DecisionLog",
+    "ConsensusMessage",
+    "NewView",
+    "PaxosAccept",
+    "PaxosAccepted",
+    "PaxosLearn",
+    "PbftCommit",
+    "PbftPrePrepare",
+    "PbftPrepare",
+    "ViewChange",
+    "PaxosEngine",
+    "PbftEngine",
+    "engine_for",
+]

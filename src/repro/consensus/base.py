@@ -1,0 +1,158 @@
+"""Engine-independent machinery shared by Paxos and PBFT.
+
+An *engine* runs on every node of a domain and agrees on a totally ordered
+log of slots.  The engine is transport-agnostic: its *host* (a simulated
+server node) supplies message sending, timers and the delivery callback.
+Decisions are always delivered to the host **in slot order** — the engine
+buffers out-of-order decisions — because both the blockchain ledger and the
+cross-domain protocols rely on a gap-free total order.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+from repro.common.types import DomainId, FailureModel
+from repro.crypto.digests import digest
+from repro.errors import ConsensusError, NotPrimaryError
+from repro.topology.domain import Domain
+
+__all__ = ["ConsensusHost", "ConsensusEngine", "DecisionLog"]
+
+
+class ConsensusHost(Protocol):
+    """What a consensus engine needs from the node it runs on."""
+
+    @property
+    def address(self) -> str: ...
+
+    @property
+    def hosted_domain(self) -> Domain: ...
+
+    def domain_peer_addresses(self) -> List[str]:
+        """Addresses of the other nodes of the same domain."""
+        ...
+
+    def send_protocol_message(self, to_address: str, message: Any) -> None: ...
+
+    def now(self) -> float: ...
+
+    def set_timer(self, delay_ms: float, callback: Callable[[], None]) -> Any: ...
+
+    def consensus_decided(self, slot: int, payload: Any) -> None:
+        """Invoked exactly once per slot, in slot order."""
+        ...
+
+
+class DecisionLog:
+    """Tracks decided slots and releases them to the host in order."""
+
+    def __init__(self, deliver: Callable[[int, Any], None]) -> None:
+        self._deliver = deliver
+        self._decided: Dict[int, Any] = {}
+        self._next_to_deliver = 1
+        self._delivered: List[Tuple[int, Any]] = []
+
+    @property
+    def next_slot_to_deliver(self) -> int:
+        return self._next_to_deliver
+
+    @property
+    def delivered(self) -> List[Tuple[int, Any]]:
+        return list(self._delivered)
+
+    def is_decided(self, slot: int) -> bool:
+        return slot in self._decided or slot < self._next_to_deliver
+
+    def record(self, slot: int, payload: Any) -> None:
+        """Record a decision; deliver it (and any now-unblocked successors)."""
+        if self.is_decided(slot):
+            return
+        self._decided[slot] = payload
+        while self._next_to_deliver in self._decided:
+            current = self._next_to_deliver
+            value = self._decided.pop(current)
+            self._next_to_deliver += 1
+            self._delivered.append((current, value))
+            self._deliver(current, value)
+
+
+class ConsensusEngine(abc.ABC):
+    """Common state for the intra-domain consensus engines."""
+
+    def __init__(self, host: ConsensusHost) -> None:
+        self._host = host
+        self._domain = host.hosted_domain
+        self._view = 0
+        self._next_slot = 1
+        self._log = DecisionLog(host.consensus_decided)
+        self._proposals: Dict[int, Any] = {}
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def domain(self) -> Domain:
+        return self._domain
+
+    @property
+    def view(self) -> int:
+        return self._view
+
+    @property
+    def primary_address(self) -> str:
+        return self._domain.primary_for_view(self._view).name
+
+    @property
+    def is_primary(self) -> bool:
+        return self._host.address == self.primary_address
+
+    @property
+    def decided_count(self) -> int:
+        return self._log.next_slot_to_deliver - 1
+
+    @property
+    def quorum(self) -> int:
+        return self._domain.quorum
+
+    def payload_digest(self, payload: Any) -> bytes:
+        if hasattr(payload, "canonical_bytes"):
+            return payload.canonical_bytes()
+        return digest(repr(payload))
+
+    # -- API used by the node layer ---------------------------------------------------
+
+    def allocate_slot(self) -> int:
+        """Reserve the next slot (primary only)."""
+        if not self.is_primary:
+            raise NotPrimaryError(
+                f"{self._host.address} is not the primary of {self._domain.name}"
+            )
+        slot = self._next_slot
+        self._next_slot += 1
+        return slot
+
+    @abc.abstractmethod
+    def propose(self, payload: Any) -> int:
+        """Start consensus on ``payload``; returns the slot it was assigned."""
+
+    @abc.abstractmethod
+    def handle_message(self, message: Any, sender: str) -> bool:
+        """Process an engine message.  Returns ``False`` if not recognised."""
+
+    # -- helpers shared by the engines ---------------------------------------------------
+
+    def _broadcast(self, message: Any) -> None:
+        for peer in self._host.domain_peer_addresses():
+            self._host.send_protocol_message(peer, message)
+
+    def _observe_slot(self, slot: int) -> None:
+        """Keep the slot counter ahead of anything observed from the primary."""
+        if slot >= self._next_slot:
+            self._next_slot = slot + 1
+
+    def _record_decision(self, slot: int, payload: Any) -> None:
+        self._log.record(slot, payload)
+
+    def is_decided(self, slot: int) -> bool:
+        return self._log.is_decided(slot)

@@ -1,0 +1,114 @@
+"""Wire messages of the internal (intra-domain) consensus protocols.
+
+Saguaro runs a CFT protocol (Paxos) inside crash-only domains and a BFT
+protocol (PBFT) inside Byzantine domains (§4).  Both protocols agree on a
+totally ordered sequence of *slots*; the payload placed in a slot is opaque to
+the engine (an internal transaction, a cross-domain protocol step, a block
+message from a child domain, a mobile state message, ...).
+
+Every message carries ``verify_count`` — how many signature/MAC verifications
+a receiving node performs — which feeds the CPU cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.common.types import DomainId
+
+__all__ = [
+    "ConsensusMessage",
+    "PaxosAccept",
+    "PaxosAccepted",
+    "PaxosLearn",
+    "PbftPrePrepare",
+    "PbftPrepare",
+    "PbftCommit",
+    "ViewChange",
+    "NewView",
+]
+
+
+@dataclass(frozen=True)
+class ConsensusMessage:
+    """Base class: every consensus message names its domain, view and slot."""
+
+    domain: DomainId
+    view: int
+    slot: int
+    #: Number of signature verifications performed by the receiver.
+    verify_count: int = field(default=1, kw_only=True)
+    #: Approximate wire size (paper: average protocol message is ~0.2 KB).
+    size_kb: float = field(default=0.2, kw_only=True)
+
+
+# -- Paxos (stable leader, phase 2) ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PaxosAccept(ConsensusMessage):
+    """Leader -> replicas: accept ``payload`` in ``slot``."""
+
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class PaxosAccepted(ConsensusMessage):
+    """Replica -> leader: the replica accepted the proposal for ``slot``."""
+
+    payload_digest: bytes = b""
+
+
+@dataclass(frozen=True)
+class PaxosLearn(ConsensusMessage):
+    """Leader -> replicas: ``slot`` is decided; replicas may deliver."""
+
+    payload: Any = None
+
+
+# -- PBFT ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PbftPrePrepare(ConsensusMessage):
+    """Primary -> replicas: assign ``payload`` to ``slot`` in ``view``."""
+
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class PbftPrepare(ConsensusMessage):
+    """Replica -> all: the replica saw a matching pre-prepare."""
+
+    payload_digest: bytes = b""
+    sender: str = ""
+
+
+@dataclass(frozen=True)
+class PbftCommit(ConsensusMessage):
+    """Replica -> all: the replica collected a prepared certificate."""
+
+    payload_digest: bytes = b""
+    sender: str = ""
+
+
+# -- view change ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ViewChange(ConsensusMessage):
+    """A node suspects the primary of ``view - 1`` and votes for ``view``."""
+
+    sender: str = ""
+    #: Slots the sender has prepared/accepted but not yet delivered, so the
+    #: new primary can re-propose them: tuple of (slot, payload).
+    pending: Tuple[Tuple[int, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class NewView(ConsensusMessage):
+    """The new primary announces ``view`` and the payloads it re-proposes."""
+
+    pending: Tuple[Tuple[int, Any], ...] = ()
+    supporters: Tuple[str, ...] = ()

@@ -1,0 +1,182 @@
+"""Paxos-style CFT consensus for crash-only domains.
+
+The engine implements multi-Paxos with a stable leader (the domain primary):
+the expensive phase-1 is run implicitly by the view number, and each slot is
+decided with one Accept / Accepted round followed by a Learn broadcast.  This
+matches how CFT-replicated systems are deployed in practice and how the paper
+uses "Paxos" as the internal protocol of crash-only domains.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.consensus.base import ConsensusEngine, ConsensusHost
+from repro.consensus.messages import (
+    NewView,
+    PaxosAccept,
+    PaxosAccepted,
+    PaxosLearn,
+    ViewChange,
+)
+from repro.errors import ConsensusError
+
+__all__ = ["PaxosEngine"]
+
+
+class PaxosEngine(ConsensusEngine):
+    """Multi-Paxos with a stable leader inside one crash-only domain."""
+
+    def __init__(self, host: ConsensusHost) -> None:
+        super().__init__(host)
+        self._accepted_payload: Dict[int, Any] = {}
+        self._accept_votes: Dict[int, Set[str]] = {}
+        self._view_change_votes: Dict[int, Set[str]] = {}
+        self._view_change_pending: Dict[int, Dict[int, Any]] = {}
+
+    # -- proposing ---------------------------------------------------------------
+
+    def propose(self, payload: Any) -> int:
+        """Leader-side entry point: assign a slot and start the accept round."""
+        slot = self.allocate_slot()
+        self._proposals[slot] = payload
+        self._accepted_payload[slot] = payload
+        self._accept_votes.setdefault(slot, set()).add(self._host.address)
+        message = PaxosAccept(
+            domain=self.domain.id, view=self.view, slot=slot, payload=payload
+        )
+        self._broadcast(message)
+        self._maybe_decide(slot)
+        return slot
+
+    # -- message handling -----------------------------------------------------------
+
+    def handle_message(self, message: Any, sender: str) -> bool:
+        if isinstance(message, PaxosAccept):
+            self._on_accept(message, sender)
+        elif isinstance(message, PaxosAccepted):
+            self._on_accepted(message, sender)
+        elif isinstance(message, PaxosLearn):
+            self._on_learn(message)
+        elif isinstance(message, ViewChange):
+            self._on_view_change(message, sender)
+        elif isinstance(message, NewView):
+            self._on_new_view(message)
+        else:
+            return False
+        return True
+
+    def _on_accept(self, message: PaxosAccept, sender: str) -> None:
+        if message.view < self.view:
+            return  # stale leader
+        self._observe_slot(message.slot)
+        self._accepted_payload[message.slot] = message.payload
+        reply = PaxosAccepted(
+            domain=self.domain.id,
+            view=message.view,
+            slot=message.slot,
+            payload_digest=self.payload_digest(message.payload),
+        )
+        self._host.send_protocol_message(sender, reply)
+
+    def _on_accepted(self, message: PaxosAccepted, sender: str) -> None:
+        if message.view != self.view or not self.is_primary:
+            return
+        votes = self._accept_votes.setdefault(message.slot, set())
+        votes.add(sender)
+        self._maybe_decide(message.slot)
+
+    def _maybe_decide(self, slot: int) -> None:
+        if not self.is_primary or self.is_decided(slot):
+            return
+        votes = self._accept_votes.get(slot, set())
+        if len(votes) < self.quorum:
+            return
+        payload = self._accepted_payload.get(slot)
+        if payload is None:
+            raise ConsensusError(f"slot {slot} decided without a payload")
+        self._record_decision(slot, payload)
+        learn = PaxosLearn(
+            domain=self.domain.id, view=self.view, slot=slot, payload=payload
+        )
+        self._broadcast(learn)
+
+    def _on_learn(self, message: PaxosLearn) -> None:
+        self._observe_slot(message.slot)
+        self._record_decision(message.slot, message.payload)
+
+    # -- view change ---------------------------------------------------------------------
+
+    def suspect_primary(self) -> None:
+        """Vote to replace the current primary (crash suspected)."""
+        target_view = self.view + 1
+        pending = self._undecided_pending()
+        vote = ViewChange(
+            domain=self.domain.id,
+            view=target_view,
+            slot=0,
+            sender=self._host.address,
+            pending=pending,
+        )
+        self._register_view_change_vote(target_view, self._host.address, pending)
+        self._broadcast(vote)
+        self._maybe_install_view(target_view)
+
+    def _undecided_pending(self) -> Tuple[Tuple[int, Any], ...]:
+        return tuple(
+            (slot, payload)
+            for slot, payload in sorted(self._accepted_payload.items())
+            if not self.is_decided(slot)
+        )
+
+    def _register_view_change_vote(
+        self, target_view: int, voter: str, pending: Tuple[Tuple[int, Any], ...]
+    ) -> None:
+        self._view_change_votes.setdefault(target_view, set()).add(voter)
+        bucket = self._view_change_pending.setdefault(target_view, {})
+        for slot, payload in pending:
+            bucket.setdefault(slot, payload)
+
+    def _on_view_change(self, message: ViewChange, sender: str) -> None:
+        if message.view <= self.view:
+            return
+        self._register_view_change_vote(message.view, sender, message.pending)
+        self._maybe_install_view(message.view)
+
+    def _maybe_install_view(self, target_view: int) -> None:
+        votes = self._view_change_votes.get(target_view, set())
+        if len(votes) < self.quorum:
+            return
+        new_primary = self.domain.primary_for_view(target_view).name
+        if new_primary != self._host.address:
+            return
+        self._view = target_view
+        pending = self._view_change_pending.get(target_view, {})
+        announcement = NewView(
+            domain=self.domain.id,
+            view=target_view,
+            slot=0,
+            pending=tuple(sorted(pending.items())),
+            supporters=tuple(sorted(votes)),
+        )
+        self._broadcast(announcement)
+        for slot, payload in sorted(pending.items()):
+            if not self.is_decided(slot):
+                self._reproprose_in_slot(slot, payload)
+
+    def _reproprose_in_slot(self, slot: int, payload: Any) -> None:
+        self._observe_slot(slot)
+        self._accepted_payload[slot] = payload
+        self._accept_votes.setdefault(slot, set()).add(self._host.address)
+        message = PaxosAccept(
+            domain=self.domain.id, view=self.view, slot=slot, payload=payload
+        )
+        self._broadcast(message)
+        self._maybe_decide(slot)
+
+    def _on_new_view(self, message: NewView) -> None:
+        if message.view <= self.view:
+            return
+        self._view = message.view
+        for slot, _payload in message.pending:
+            self._observe_slot(slot)

@@ -1,0 +1,209 @@
+"""PBFT-style BFT consensus for Byzantine domains.
+
+The engine follows the normal-case structure of Castro & Liskov's PBFT: the
+primary assigns a slot with a pre-prepare, replicas exchange prepare messages,
+and once a node holds a prepared certificate it broadcasts a commit; a slot is
+decided when ``2f + 1`` commit votes have been collected.  The view-change
+path replaces a suspected primary and re-proposes pending slots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set, Tuple
+
+from repro.consensus.base import ConsensusEngine, ConsensusHost
+from repro.consensus.messages import (
+    NewView,
+    PbftCommit,
+    PbftPrePrepare,
+    PbftPrepare,
+    ViewChange,
+)
+
+__all__ = ["PbftEngine"]
+
+
+class PbftEngine(ConsensusEngine):
+    """PBFT normal case plus a simplified view change, inside one domain."""
+
+    def __init__(self, host: ConsensusHost) -> None:
+        super().__init__(host)
+        self._payloads: Dict[int, Any] = {}
+        self._prepare_votes: Dict[int, Set[str]] = {}
+        self._commit_votes: Dict[int, Set[str]] = {}
+        self._commit_sent: Set[int] = set()
+        self._view_change_votes: Dict[int, Set[str]] = {}
+        self._view_change_pending: Dict[int, Dict[int, Any]] = {}
+
+    # -- proposing -------------------------------------------------------------------
+
+    def propose(self, payload: Any) -> int:
+        """Primary-side entry point: pre-prepare the payload in a fresh slot."""
+        slot = self.allocate_slot()
+        self._proposals[slot] = payload
+        self._payloads[slot] = payload
+        # The primary's pre-prepare counts as its prepare vote.
+        self._prepare_votes.setdefault(slot, set()).add(self._host.address)
+        message = PbftPrePrepare(
+            domain=self.domain.id, view=self.view, slot=slot, payload=payload
+        )
+        self._broadcast(message)
+        self._maybe_commit_phase(slot)
+        return slot
+
+    # -- message handling -----------------------------------------------------------------
+
+    def handle_message(self, message: Any, sender: str) -> bool:
+        if isinstance(message, PbftPrePrepare):
+            self._on_pre_prepare(message, sender)
+        elif isinstance(message, PbftPrepare):
+            self._on_prepare(message, sender)
+        elif isinstance(message, PbftCommit):
+            self._on_commit(message, sender)
+        elif isinstance(message, ViewChange):
+            self._on_view_change(message, sender)
+        elif isinstance(message, NewView):
+            self._on_new_view(message)
+        else:
+            return False
+        return True
+
+    def _on_pre_prepare(self, message: PbftPrePrepare, sender: str) -> None:
+        if message.view < self.view:
+            return
+        self._observe_slot(message.slot)
+        self._payloads[message.slot] = message.payload
+        votes = self._prepare_votes.setdefault(message.slot, set())
+        # The pre-prepare carries the primary's vote; add our own and tell peers.
+        votes.add(sender)
+        votes.add(self._host.address)
+        prepare = PbftPrepare(
+            domain=self.domain.id,
+            view=message.view,
+            slot=message.slot,
+            payload_digest=self.payload_digest(message.payload),
+            sender=self._host.address,
+        )
+        self._broadcast(prepare)
+        self._maybe_commit_phase(message.slot)
+
+    def _on_prepare(self, message: PbftPrepare, sender: str) -> None:
+        if message.view < self.view:
+            return
+        self._observe_slot(message.slot)
+        self._prepare_votes.setdefault(message.slot, set()).add(sender)
+        self._maybe_commit_phase(message.slot)
+
+    def _maybe_commit_phase(self, slot: int) -> None:
+        """Enter the commit phase once a prepared certificate is held."""
+        if slot in self._commit_sent or self.is_decided(slot):
+            return
+        if slot not in self._payloads:
+            return
+        if len(self._prepare_votes.get(slot, set())) < self.quorum:
+            return
+        self._commit_sent.add(slot)
+        self._commit_votes.setdefault(slot, set()).add(self._host.address)
+        commit = PbftCommit(
+            domain=self.domain.id,
+            view=self.view,
+            slot=slot,
+            payload_digest=self.payload_digest(self._payloads[slot]),
+            sender=self._host.address,
+        )
+        self._broadcast(commit)
+        self._maybe_decide(slot)
+
+    def _on_commit(self, message: PbftCommit, sender: str) -> None:
+        if message.view < self.view:
+            return
+        self._observe_slot(message.slot)
+        self._commit_votes.setdefault(message.slot, set()).add(sender)
+        self._maybe_commit_phase(message.slot)
+        self._maybe_decide(message.slot)
+
+    def _maybe_decide(self, slot: int) -> None:
+        if self.is_decided(slot) or slot not in self._payloads:
+            return
+        if len(self._commit_votes.get(slot, set())) < self.quorum:
+            return
+        self._record_decision(slot, self._payloads[slot])
+
+    # -- view change --------------------------------------------------------------------------
+
+    def suspect_primary(self) -> None:
+        """Vote to move to the next view (primary suspected faulty)."""
+        target_view = self.view + 1
+        pending = self._undecided_pending()
+        vote = ViewChange(
+            domain=self.domain.id,
+            view=target_view,
+            slot=0,
+            sender=self._host.address,
+            pending=pending,
+        )
+        self._register_view_change_vote(target_view, self._host.address, pending)
+        self._broadcast(vote)
+        self._maybe_install_view(target_view)
+
+    def _undecided_pending(self) -> Tuple[Tuple[int, Any], ...]:
+        return tuple(
+            (slot, payload)
+            for slot, payload in sorted(self._payloads.items())
+            if not self.is_decided(slot)
+        )
+
+    def _register_view_change_vote(
+        self, target_view: int, voter: str, pending: Tuple[Tuple[int, Any], ...]
+    ) -> None:
+        self._view_change_votes.setdefault(target_view, set()).add(voter)
+        bucket = self._view_change_pending.setdefault(target_view, {})
+        for slot, payload in pending:
+            bucket.setdefault(slot, payload)
+
+    def _on_view_change(self, message: ViewChange, sender: str) -> None:
+        if message.view <= self.view:
+            return
+        self._register_view_change_vote(message.view, sender, message.pending)
+        self._maybe_install_view(message.view)
+
+    def _maybe_install_view(self, target_view: int) -> None:
+        votes = self._view_change_votes.get(target_view, set())
+        if len(votes) < self.quorum:
+            return
+        new_primary = self.domain.primary_for_view(target_view).name
+        if new_primary != self._host.address:
+            return
+        self._view = target_view
+        pending = self._view_change_pending.get(target_view, {})
+        announcement = NewView(
+            domain=self.domain.id,
+            view=target_view,
+            slot=0,
+            pending=tuple(sorted(pending.items())),
+            supporters=tuple(sorted(votes)),
+        )
+        self._broadcast(announcement)
+        for slot, payload in sorted(pending.items()):
+            if not self.is_decided(slot):
+                self._repropose_in_slot(slot, payload)
+
+    def _repropose_in_slot(self, slot: int, payload: Any) -> None:
+        self._observe_slot(slot)
+        self._payloads[slot] = payload
+        self._prepare_votes.setdefault(slot, set()).add(self._host.address)
+        message = PbftPrePrepare(
+            domain=self.domain.id, view=self.view, slot=slot, payload=payload
+        )
+        self._broadcast(message)
+        self._maybe_commit_phase(slot)
+
+    def _on_new_view(self, message: NewView) -> None:
+        if message.view <= self.view:
+            return
+        self._view = message.view
+        self._commit_sent = {
+            slot for slot in self._commit_sent if self.is_decided(slot)
+        }
+        for slot, _payload in message.pending:
+            self._observe_slot(slot)

@@ -1,0 +1,36 @@
+"""Saguaro's core protocols: nodes, clients, cross-domain consensus, mobility."""
+
+from repro.core.application import (
+    Application,
+    BaseApplication,
+    ExecutionResult,
+    KeyValueApplication,
+)
+from repro.core.client import EdgeDeviceClient
+from repro.core.coordinator import CoordinatorCrossDomainProtocol
+from repro.core.device import DeviceBatchProtocol, EdgeDeviceQuorum, PaymentChannel
+from repro.core.internal import InternalTransactionProtocol
+from repro.core.lazy import LazyPropagation
+from repro.core.mobile import MobileConsensusProtocol
+from repro.core.node import ProtocolComponent, SaguaroNode
+from repro.core.optimistic import OptimisticCrossDomainProtocol
+from repro.core.system import SaguaroDeployment
+
+__all__ = [
+    "Application",
+    "BaseApplication",
+    "ExecutionResult",
+    "KeyValueApplication",
+    "EdgeDeviceClient",
+    "CoordinatorCrossDomainProtocol",
+    "DeviceBatchProtocol",
+    "EdgeDeviceQuorum",
+    "PaymentChannel",
+    "InternalTransactionProtocol",
+    "LazyPropagation",
+    "MobileConsensusProtocol",
+    "ProtocolComponent",
+    "SaguaroNode",
+    "OptimisticCrossDomainProtocol",
+    "SaguaroDeployment",
+]

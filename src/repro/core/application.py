@@ -1,0 +1,112 @@
+"""The application interface executed on top of Saguaro.
+
+Saguaro is application-agnostic: height-1 domains execute transactions against
+their blockchain state, and the abstraction function λ decides which parts of
+the state updates flow up the hierarchy (§5).  Workloads (micropayment,
+ridesharing, ...) implement :class:`Application`; the default
+:class:`KeyValueApplication` provides generic read/write semantics used by
+tests and the quickstart example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Protocol, runtime_checkable
+
+from repro.common.types import ClientId, DomainId
+from repro.ledger.abstraction import AbstractionFunction, identity_abstraction
+from repro.ledger.state import StateStore
+from repro.ledger.transaction import Transaction
+from repro.topology.domain import Domain
+
+__all__ = ["ExecutionResult", "Application", "BaseApplication", "KeyValueApplication"]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of executing one transaction on one domain's state."""
+
+    success: bool
+    result: Dict[str, Any] = field(default_factory=dict)
+    written_keys: tuple = ()
+    error: str = ""
+
+
+@runtime_checkable
+class Application(Protocol):
+    """What a Saguaro deployment needs from the hosted application."""
+
+    @property
+    def name(self) -> str: ...
+
+    def initialize_domain(self, domain: Domain, state: StateStore) -> None:
+        """Populate the blockchain state of a freshly created height-1 domain."""
+        ...
+
+    def execute(
+        self, transaction: Transaction, state: StateStore, domain: DomainId
+    ) -> ExecutionResult:
+        """Apply ``transaction`` to ``state`` on behalf of ``domain``."""
+        ...
+
+    def abstraction(self) -> AbstractionFunction:
+        """λ — how a round's state delta is summarized for the parent domain."""
+        ...
+
+    def client_state(self, client: ClientId, state: StateStore) -> Dict[str, Any]:
+        """H(n): the state of a mobile device needed to process its requests."""
+        ...
+
+    def apply_client_state(
+        self, client: ClientId, incoming: Mapping[str, Any], state: StateStore
+    ) -> None:
+        """Install a mobile device's state received from another domain."""
+        ...
+
+
+class BaseApplication:
+    """Convenience base class with reasonable defaults for optional hooks."""
+
+    name = "base"
+
+    def initialize_domain(self, domain: Domain, state: StateStore) -> None:  # noqa: D401
+        """By default domains start with empty state."""
+
+    def abstraction(self) -> AbstractionFunction:
+        return identity_abstraction
+
+    def client_state(self, client: ClientId, state: StateStore) -> Dict[str, Any]:
+        prefix = f"client:{client.name}"
+        return {
+            key: state.get(key)
+            for key in state.keys()
+            if key.startswith(prefix)
+        }
+
+    def apply_client_state(
+        self, client: ClientId, incoming: Mapping[str, Any], state: StateStore
+    ) -> None:
+        for key, value in incoming.items():
+            state.put(key, value)
+
+
+class KeyValueApplication(BaseApplication):
+    """A generic key-value application: payload ``{"op": "put"|"get", ...}``."""
+
+    name = "kv"
+
+    def execute(
+        self, transaction: Transaction, state: StateStore, domain: DomainId
+    ) -> ExecutionResult:
+        payload = transaction.payload
+        operation = payload.get("op", "noop")
+        if operation == "put":
+            key = payload["key"]
+            state.put(key, payload.get("value"))
+            return ExecutionResult(success=True, written_keys=(key,))
+        if operation == "get":
+            key = payload["key"]
+            return ExecutionResult(success=True, result={"value": state.get(key)})
+        if operation == "noop":
+            return ExecutionResult(success=True)
+        return ExecutionResult(success=False, error=f"unknown op {operation!r}")

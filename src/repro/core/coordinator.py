@@ -1,0 +1,655 @@
+"""Coordinator-based cross-domain consensus (§4, Algorithm 1).
+
+The lowest common ancestor (LCA) domain of all involved height-1 domains acts
+as the coordinator: it orders the request internally, sends ``prepare`` to
+every involved domain, collects certified ``prepared`` messages, orders the
+commit internally, and multicasts ``commit``.  Because several independent LCA
+domains coordinate different transactions concurrently, a participant may be
+involved in several cross-domain transactions at once; the protocol keeps
+consistency with a coarse-grained rule — a domain does not process a new
+cross-domain request while an earlier one that overlaps it in at least two
+domains is still in flight — and resolves the deadlocks this can create with
+per-coordinator timers that abort and retry (§4.1).
+
+One :class:`CoordinatorCrossDomainProtocol` instance runs on every server
+node; the same component plays the participant role on height-1 nodes and the
+coordinator role on height-2+ nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.common.types import DomainId, TransactionId, TransactionKind, TransactionStatus
+from repro.core.messages import (
+    ClientRequest,
+    CommitQuery,
+    CoordinatorCommitOrder,
+    CoordinatorPrepareOrder,
+    CrossAbort,
+    CrossAck,
+    CrossCommit,
+    CrossForward,
+    CrossPrepare,
+    CrossPrepared,
+    ParticipantPrepareOrder,
+    PreparedQuery,
+)
+from repro.core.node import ProtocolComponent, SaguaroNode
+from repro.ledger.transaction import Transaction
+
+__all__ = ["CoordinatorCrossDomainProtocol"]
+
+#: Give up on a cross-domain transaction after this many prepare attempts.
+MAX_ATTEMPTS = 5
+
+
+def _overlaps_in_two(a: Transaction, b: Transaction) -> bool:
+    """The paper's coarse-grained conflict rule: intersect in >= 2 domains."""
+    return len(set(a.involved_domains) & set(b.involved_domains)) >= 2
+
+
+@dataclass
+class _CoordinationState:
+    """Coordinator-side (LCA) bookkeeping for one cross-domain transaction."""
+
+    transaction: Transaction
+    origin_domain: DomainId
+    client_address: str
+    coordinator_sequence: int = 0
+    attempt: int = 1
+    prepared_parts: Dict[DomainId, int] = field(default_factory=dict)
+    all_prepared: bool = False
+    committed: bool = False
+    aborted: bool = False
+    acks: Set[str] = field(default_factory=set)
+    timer: Any = None
+
+    @property
+    def in_flight(self) -> bool:
+        return not self.committed and not self.aborted
+
+    @property
+    def blocks_new_conflicts(self) -> bool:
+        """The coarse-grained hold (§4) applies until every participant prepared.
+
+        Once all involved domains have ordered the transaction, any later
+        conflicting transaction this coordinator prepares is necessarily
+        ordered after it in every overlapping domain, so admitting the next
+        conflicting request at this point cannot violate consistency (the
+        participant-side commit guard preserves the apply order).
+        """
+        return self.in_flight and not self.all_prepared
+
+
+@dataclass
+class _ParticipantState:
+    """Participant-side (height-1) bookkeeping for one cross-domain transaction."""
+
+    transaction: Transaction
+    coordinator_domain: DomainId
+    coordinator_sequence: int
+    participant_sequence: int = 0
+    prepared: bool = False
+    committed: bool = False
+    aborted: bool = False
+    timer: Any = None
+
+    @property
+    def in_flight(self) -> bool:
+        return self.prepared and not self.committed and not self.aborted
+
+
+class CoordinatorCrossDomainProtocol(ProtocolComponent):
+    """Implements Algorithm 1 on both coordinator and participant nodes."""
+
+    def __init__(self, node: SaguaroNode) -> None:
+        super().__init__(node)
+        # Coordinator role.
+        self._coord: Dict[TransactionId, _CoordinationState] = {}
+        self._coord_pending: Dict[TransactionId, Transaction] = {}
+        # Participant role.
+        self._part: Dict[TransactionId, _ParticipantState] = {}
+        self._part_pending: Dict[TransactionId, Transaction] = {}
+        self._part_queue: List[CrossPrepare] = []
+        self._deferred_commits: Dict[TransactionId, CrossCommit] = {}
+        self._waiting_on_dependency: Dict[TransactionId, List[CrossPrepare]] = {}
+        # Where to send the reply (populated on the origin domain only).
+        self._client_of: Dict[TransactionId, str] = {}
+
+    # ------------------------------------------------------------------ dispatch
+
+    def handle_message(self, payload: Any, sender: str) -> bool:
+        if isinstance(payload, ClientRequest):
+            return self._on_client_request(payload)
+        if isinstance(payload, CrossForward):
+            return self._on_forward(payload)
+        if isinstance(payload, CrossPrepare):
+            return self._on_prepare(payload)
+        if isinstance(payload, CrossPrepared):
+            return self._on_prepared(payload)
+        if isinstance(payload, CrossCommit):
+            return self._on_commit(payload)
+        if isinstance(payload, CrossAbort):
+            return self._on_abort(payload)
+        if isinstance(payload, CrossAck):
+            return self._on_ack(payload)
+        if isinstance(payload, CommitQuery):
+            return self._on_commit_query(payload)
+        if isinstance(payload, PreparedQuery):
+            return self._on_prepared_query(payload)
+        return False
+
+    def on_decide(self, slot: int, payload: Any) -> bool:
+        if isinstance(payload, CoordinatorPrepareOrder):
+            self._decided_coordinator_prepare(slot, payload)
+            return True
+        if isinstance(payload, ParticipantPrepareOrder):
+            self._decided_participant_prepare(slot, payload)
+            return True
+        if isinstance(payload, CoordinatorCommitOrder):
+            self._decided_coordinator_commit(payload)
+            return True
+        return False
+
+    # ------------------------------------------------------------------ client request (participant primary)
+
+    def _on_client_request(self, request: ClientRequest) -> bool:
+        transaction = request.transaction
+        if transaction.kind is not TransactionKind.CROSS_DOMAIN:
+            return False
+        if not self.node.is_height1 or not transaction.involves(self.node.domain.id):
+            return False
+        self._client_of.setdefault(transaction.tid, request.client_address)
+        if self.node.ledger is not None and transaction.tid in self.node.ledger:
+            # Retransmission of an already committed request.
+            if self.node.is_primary:
+                self.node.reply_to_client(request.client_address, transaction, True)
+            return True
+        if not self.node.is_primary:
+            self.node.send(self.node.engine.primary_address, request)
+            return True
+        lca = self.node.hierarchy.lowest_common_ancestor(
+            list(transaction.involved_domains)
+        )
+        forward = CrossForward(
+            transaction=transaction,
+            origin_domain=self.node.domain.id,
+            client_address=request.client_address,
+        )
+        self.node.multicast_domain(lca.id, forward)
+        return True
+
+    # ------------------------------------------------------------------ coordinator role
+
+    def _on_forward(self, forward: CrossForward) -> bool:
+        if self.node.domain.height < 2:
+            return False
+        if not self.node.is_primary:
+            return True  # replicas learn through internal consensus
+        tid = forward.transaction.tid
+        if tid in self._coord or tid in self._coord_pending:
+            return True  # duplicate forward
+        # Conflicting requests coordinated by this domain are pipelined: the
+        # prepare message carries explicit ordering dependencies (``after``)
+        # instead of holding the new request back until the earlier commits.
+        self._propose_coordinator_prepare(forward, attempt=1)
+        return True
+
+    def _propose_coordinator_prepare(self, forward: CrossForward, attempt: int) -> None:
+        self._coord_pending[forward.transaction.tid] = forward.transaction
+        order = CoordinatorPrepareOrder(
+            transaction=forward.transaction,
+            origin_domain=forward.origin_domain,
+            client_address=forward.client_address,
+            attempt=attempt,
+        )
+        self.node.engine.propose(order)
+
+    def _decided_coordinator_prepare(
+        self, slot: int, order: CoordinatorPrepareOrder
+    ) -> None:
+        tid = order.transaction.tid
+        self._coord_pending.pop(tid, None)
+        state = self._coord.get(tid)
+        if state is None:
+            state = _CoordinationState(
+                transaction=order.transaction,
+                origin_domain=order.origin_domain,
+                client_address=order.client_address,
+            )
+            self._coord[tid] = state
+        state.coordinator_sequence = slot
+        state.attempt = order.attempt
+        state.prepared_parts.clear()
+        if not self.node.is_primary:
+            return
+        self._send_prepares(state)
+        self._arm_deadlock_timer(state)
+
+    def _send_prepares(self, state: _CoordinationState) -> None:
+        transaction = state.transaction
+        certificate = self.node.certify(transaction.request_digest)
+        for domain_id in transaction.involved_domains:
+            prepare = CrossPrepare(
+                transaction=transaction,
+                coordinator_domain=self.node.domain.id,
+                coordinator_sequence=state.coordinator_sequence,
+                request_digest=transaction.request_digest,
+                certificate=certificate,
+                attempt=state.attempt,
+                after=self._ordering_dependencies(state, domain_id),
+            )
+            self.node.multicast_domain(domain_id, prepare)
+
+    def _ordering_dependencies(
+        self, state: _CoordinationState, participant: DomainId
+    ) -> Tuple[TransactionId, ...]:
+        """Earlier conflicting transactions ``participant`` must order first.
+
+        A dependency is only meaningful to participants that are involved in
+        both transactions, so the list is computed per participant domain.
+        """
+        dependencies = []
+        for other in self._coord.values():
+            if other is state or not other.in_flight:
+                continue
+            if other.coordinator_sequence >= state.coordinator_sequence:
+                continue
+            if participant not in other.transaction.involved_domains:
+                continue
+            if _overlaps_in_two(other.transaction, state.transaction):
+                dependencies.append(other.transaction.tid)
+        return tuple(dependencies)
+
+    def _arm_deadlock_timer(self, state: _CoordinationState) -> None:
+        """Different coordinators use staggered timers to avoid repeated clashes."""
+        timers = self.node.config.timers
+        stagger = timers.deadlock_backoff_ms * (self.node.domain.id.index - 1)
+        delay = timers.cross_domain_timeout_ms + stagger
+        tid = state.transaction.tid
+
+        def _expired() -> None:
+            self._on_coordination_timeout(tid)
+
+        if state.timer is not None:
+            state.timer.cancel()
+        state.timer = self.node.set_timer(delay, _expired)
+
+    def _on_coordination_timeout(self, tid: TransactionId) -> None:
+        state = self._coord.get(tid)
+        if state is None or not state.in_flight or not self.node.is_primary:
+            return
+        if state.attempt >= MAX_ATTEMPTS:
+            self._abort_coordination(state, will_retry=False, reason="max attempts")
+            return
+        # Deadlock resolution (§4.1): abort this attempt, then retry with a new
+        # prepare so overlapping domains can re-order consistently.
+        abort = CrossAbort(
+            tid=tid,
+            coordinator_domain=self.node.domain.id,
+            request_digest=state.transaction.request_digest,
+            reason="deadlock-retry",
+            will_retry=True,
+        )
+        self.node.multicast_domains(list(state.transaction.involved_domains), abort)
+        state.prepared_parts.clear()
+        state.attempt += 1
+        retry_delay = self.node.config.timers.deadlock_backoff_ms
+        forward = CrossForward(
+            transaction=state.transaction,
+            origin_domain=state.origin_domain,
+            client_address=state.client_address,
+        )
+        self.node.set_timer(
+            retry_delay,
+            lambda: self._propose_coordinator_prepare(forward, attempt=state.attempt),
+        )
+
+    def _abort_coordination(
+        self, state: _CoordinationState, will_retry: bool, reason: str
+    ) -> None:
+        state.aborted = True
+        if state.timer is not None:
+            state.timer.cancel()
+        abort = CrossAbort(
+            tid=state.transaction.tid,
+            coordinator_domain=self.node.domain.id,
+            request_digest=state.transaction.request_digest,
+            reason=reason,
+            will_retry=will_retry,
+        )
+        self.node.multicast_domains(list(state.transaction.involved_domains), abort)
+
+    def _on_prepared(self, message: CrossPrepared) -> bool:
+        if self.node.domain.height < 2:
+            return False
+        if not self.node.is_primary:
+            return True
+        state = self._coord.get(message.tid)
+        if state is None or not state.in_flight:
+            return True
+        if message.coordinator_sequence != state.coordinator_sequence:
+            return True  # belongs to a previous attempt
+        state.prepared_parts[message.participant_domain] = message.participant_sequence
+        involved = set(state.transaction.involved_domains)
+        if set(state.prepared_parts) == involved:
+            state.all_prepared = True
+            order = CoordinatorCommitOrder(
+                tid=message.tid,
+                sequence_parts=tuple(sorted(state.prepared_parts.items())),
+                request_digest=state.transaction.request_digest,
+            )
+            self.node.engine.propose(order)
+        return True
+
+    def _decided_coordinator_commit(self, order: CoordinatorCommitOrder) -> None:
+        state = self._coord.get(order.tid)
+        if state is None or state.committed:
+            return
+        state.committed = True
+        if state.timer is not None:
+            state.timer.cancel()
+        if self.node.dag is not None:
+            # The coordinator records the commit so later block messages from
+            # children merge into an already-known vertex.
+            pass
+        if self.node.is_primary:
+            certificate = self.node.certify(order.request_digest)
+            commit = CrossCommit(
+                tid=order.tid,
+                coordinator_domain=self.node.domain.id,
+                sequence_parts=order.sequence_parts,
+                request_digest=order.request_digest,
+                certificate=certificate,
+            )
+            self.node.multicast_domains(
+                list(state.transaction.involved_domains), commit
+            )
+
+    def _on_ack(self, message: CrossAck) -> bool:
+        if self.node.domain.height < 2:
+            return False
+        state = self._coord.get(message.tid)
+        if state is not None:
+            state.acks.add(message.participant)
+        return True
+
+    def _on_commit_query(self, query: CommitQuery) -> bool:
+        if self.node.domain.height < 2:
+            return False
+        state = self._coord.get(query.tid)
+        if state is None or not self.node.is_primary:
+            return True
+        if state.committed:
+            certificate = self.node.certify(query.request_digest)
+            commit = CrossCommit(
+                tid=query.tid,
+                coordinator_domain=self.node.domain.id,
+                sequence_parts=tuple(sorted(state.prepared_parts.items())),
+                request_digest=query.request_digest,
+                certificate=certificate,
+            )
+            self.node.multicast_domain(query.participant_domain, commit)
+        return True
+
+    # ------------------------------------------------------------------ participant role
+
+    def _on_prepare(self, prepare: CrossPrepare) -> bool:
+        if not self.node.is_height1:
+            return False
+        transaction = prepare.transaction
+        if not transaction.involves(self.node.domain.id):
+            return True
+        if not self.node.is_primary:
+            return True
+        tid = transaction.tid
+        existing = self._part.get(tid)
+        if existing is not None and existing.prepared:
+            # Duplicate prepare (e.g. after a prepared-query): re-send prepared.
+            self._send_prepared(existing)
+            return True
+        if tid in self._part_pending:
+            return True
+        missing = self._missing_dependency(prepare)
+        if missing is not None:
+            # The coordinator ordered an earlier conflicting transaction that
+            # this domain has not ordered yet: wait for it (pipelined hold).
+            self._waiting_on_dependency.setdefault(missing, []).append(prepare)
+            return True
+        if self._conflicts_with_inflight_participation(
+            transaction, prepare.coordinator_domain
+        ):
+            self._part_queue.append(prepare)
+            return True
+        self._propose_participant_prepare(prepare)
+        return True
+
+    def _missing_dependency(self, prepare: CrossPrepare) -> Optional[TransactionId]:
+        """First dependency of ``prepare`` not yet ordered by this domain."""
+        for dependency in prepare.after:
+            if dependency in self._part:
+                continue
+            if self.node.ledger is not None and dependency in self.node.ledger:
+                continue
+            return dependency
+        return None
+
+    def _release_dependents(self, tid: TransactionId) -> None:
+        """Re-admit prepares that were waiting for ``tid`` to be ordered."""
+        waiting = self._waiting_on_dependency.pop(tid, [])
+        for prepare in waiting:
+            self._on_prepare(prepare)
+
+    def _conflicts_with_inflight_participation(
+        self, transaction: Transaction, coordinator_domain: Optional[DomainId] = None
+    ) -> bool:
+        """Participant-side coarse-grained hold (Algorithm 1, line 13).
+
+        A hold is only needed when the earlier in-flight transaction is driven
+        by a *different* coordinator domain: with the same coordinator, the
+        coordinator itself already serialises conflicting requests, and the
+        commit-application guard keeps the apply order consistent.
+        """
+        for state in self._part.values():
+            if not state.in_flight:
+                continue
+            if (
+                coordinator_domain is not None
+                and state.coordinator_domain == coordinator_domain
+            ):
+                continue
+            if _overlaps_in_two(state.transaction, transaction):
+                return True
+        for pending in self._part_pending.values():
+            if _overlaps_in_two(pending, transaction):
+                return True
+        return False
+
+    def _propose_participant_prepare(self, prepare: CrossPrepare) -> None:
+        self._part_pending[prepare.transaction.tid] = prepare.transaction
+        order = ParticipantPrepareOrder(
+            transaction=prepare.transaction,
+            coordinator_domain=prepare.coordinator_domain,
+            coordinator_sequence=prepare.coordinator_sequence,
+            attempt=prepare.attempt,
+        )
+        self.node.engine.propose(order)
+
+    def _decided_participant_prepare(
+        self, slot: int, order: ParticipantPrepareOrder
+    ) -> None:
+        tid = order.transaction.tid
+        self._part_pending.pop(tid, None)
+        state = self._part.get(tid)
+        if state is None:
+            state = _ParticipantState(
+                transaction=order.transaction,
+                coordinator_domain=order.coordinator_domain,
+                coordinator_sequence=order.coordinator_sequence,
+            )
+            self._part[tid] = state
+        if state.committed or state.aborted:
+            return
+        state.coordinator_domain = order.coordinator_domain
+        state.coordinator_sequence = order.coordinator_sequence
+        state.participant_sequence = slot
+        state.prepared = True
+        if self.node.is_primary:
+            self._send_prepared(state)
+        self._arm_commit_query_timer(state)
+        if self.node.is_primary:
+            self._release_dependents(tid)
+
+    def _send_prepared(self, state: _ParticipantState) -> None:
+        certificate = self.node.certify(state.transaction.request_digest)
+        prepared = CrossPrepared(
+            tid=state.transaction.tid,
+            participant_domain=self.node.domain.id,
+            coordinator_sequence=state.coordinator_sequence,
+            participant_sequence=state.participant_sequence,
+            request_digest=state.transaction.request_digest,
+            certificate=certificate,
+        )
+        self.node.multicast_domain(state.coordinator_domain, prepared)
+
+    def _arm_commit_query_timer(self, state: _ParticipantState) -> None:
+        timers = self.node.config.timers
+        tid = state.transaction.tid
+
+        def _expired() -> None:
+            current = self._part.get(tid)
+            if current is None or not current.in_flight:
+                return
+            query = CommitQuery(
+                tid=tid,
+                participant_domain=self.node.domain.id,
+                coordinator_sequence=current.coordinator_sequence,
+                participant_sequence=current.participant_sequence,
+                request_digest=current.transaction.request_digest,
+                sender=self.node.address,
+            )
+            self.node.multicast_domain(current.coordinator_domain, query)
+            self._arm_commit_query_timer(current)
+
+        if state.timer is not None:
+            state.timer.cancel()
+        state.timer = self.node.set_timer(timers.commit_query_timeout_ms, _expired)
+
+    def _on_commit(self, commit: CrossCommit) -> bool:
+        if not self.node.is_height1:
+            return False
+        state = self._part.get(commit.tid)
+        if state is None:
+            return True
+        if state.committed:
+            return True
+        if self._must_defer_commit(state):
+            self._deferred_commits[commit.tid] = commit
+            return True
+        self._apply_commit(state, commit)
+        self._apply_deferred_commits()
+        return True
+
+    def _must_defer_commit(self, state: _ParticipantState) -> bool:
+        """Commits of overlapping transactions are applied in prepare order.
+
+        This preserves the consistency property (Lemma 4.3) even when commit
+        messages from the coordinator are delivered out of order.
+        """
+        for other in self._part.values():
+            if other is state or not other.in_flight:
+                continue
+            if other.participant_sequence >= state.participant_sequence:
+                continue
+            if _overlaps_in_two(other.transaction, state.transaction):
+                return True
+        return False
+
+    def _apply_commit(self, state: _ParticipantState, commit: CrossCommit) -> None:
+        state.committed = True
+        if state.timer is not None:
+            state.timer.cancel()
+        if self.node.ledger is not None and commit.tid not in self.node.ledger:
+            self.node.append_and_execute(state.transaction, TransactionStatus.COMMITTED)
+            self.node.note_commit(commit.tid)
+        ack = CrossAck(
+            tid=commit.tid,
+            participant=self.node.address,
+            coordinator_sequence=state.coordinator_sequence,
+        )
+        self.node.send(self.node.primary_address_of(commit.coordinator_domain), ack)
+        if self.node.is_primary and commit.tid in self._client_of:
+            self.node.reply_to_client(
+                self._client_of.pop(commit.tid), state.transaction, success=True
+            )
+        if self.node.is_primary:
+            self._drain_participant_queue()
+
+    def _apply_deferred_commits(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for tid, commit in list(self._deferred_commits.items()):
+                state = self._part.get(tid)
+                if state is None or state.committed:
+                    del self._deferred_commits[tid]
+                    continue
+                if not self._must_defer_commit(state):
+                    del self._deferred_commits[tid]
+                    self._apply_commit(state, commit)
+                    progressed = True
+
+    def _on_abort(self, abort: CrossAbort) -> bool:
+        if not self.node.is_height1:
+            return False
+        if self.node.is_primary:
+            # Anything waiting for the aborted transaction's ordering can run.
+            self._release_dependents(abort.tid)
+        state = self._part.get(abort.tid)
+        if state is not None and not state.committed:
+            if state.timer is not None:
+                state.timer.cancel()
+            if abort.will_retry:
+                # The coordinator will re-issue a prepare: forget this attempt.
+                del self._part[abort.tid]
+            else:
+                state.aborted = True
+                self.node.note_abort(abort.tid, abort.reason)
+                if self.node.is_primary and abort.tid in self._client_of:
+                    self.node.reply_to_client(
+                        self._client_of.pop(abort.tid),
+                        state.transaction,
+                        success=False,
+                    )
+        if self.node.is_primary:
+            self._drain_participant_queue()
+        return True
+
+    def _drain_participant_queue(self) -> None:
+        remaining: List[CrossPrepare] = []
+        for prepare in self._part_queue:
+            if self._conflicts_with_inflight_participation(
+                prepare.transaction, prepare.coordinator_domain
+            ):
+                remaining.append(prepare)
+            else:
+                self._propose_participant_prepare(prepare)
+        self._part_queue = remaining
+
+    def _on_prepared_query(self, query: PreparedQuery) -> bool:
+        if not self.node.is_height1:
+            return False
+        state = self._part.get(query.tid)
+        if state is not None and state.prepared and self.node.is_primary:
+            self._send_prepared(state)
+        return True
+
+    # ------------------------------------------------------------------ introspection (tests)
+
+    def coordinated_transactions(self) -> Tuple[TransactionId, ...]:
+        return tuple(self._coord.keys())
+
+    def participant_transactions(self) -> Tuple[TransactionId, ...]:
+        return tuple(self._part.keys())

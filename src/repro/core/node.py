@@ -1,0 +1,320 @@
+"""Simulated Saguaro server nodes.
+
+A :class:`SaguaroNode` is one server of a (height >= 1) domain.  It is a
+network endpoint, a consensus-engine host, and the place where the protocol
+components (internal transactions, coordinator-based cross-domain consensus,
+optimistic consensus, lazy propagation, mobile consensus) plug in.
+
+Height-1 nodes hold the full blockchain ledger and blockchain state of their
+domain and execute transactions; height-2+ nodes hold the DAG-structured
+summarized ledger and the summarized view (§3, §5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.metrics import MetricsCollector
+from repro.common.config import DeploymentConfig
+from repro.common.types import DomainId, NodeId, TransactionId, TransactionStatus
+from repro.consensus import ConsensusEngine, engine_for
+from repro.core.application import Application, ExecutionResult
+from repro.core.messages import ClientReply
+from repro.crypto.certificates import QuorumCertificate, Signer
+from repro.crypto.keys import KeyStore
+from repro.errors import ConfigurationError
+from repro.ledger.chain import LinearLedger
+from repro.ledger.dag import DagLedger
+from repro.ledger.abstraction import SummarizedView
+from repro.ledger.state import StateStore
+from repro.ledger.transaction import CommittedEntry, Transaction
+from repro.sim.cpu import CpuQueue
+from repro.sim.network import Envelope, Network
+from repro.sim.simulator import Simulator, Timer
+from repro.topology.domain import Domain
+from repro.topology.hierarchy import Hierarchy
+
+__all__ = ["ProtocolComponent", "SaguaroNode"]
+
+
+class ProtocolComponent:
+    """Base class for protocol logic hosted by a :class:`SaguaroNode`.
+
+    Components receive wire messages through :meth:`handle_message` and
+    internally ordered payloads through :meth:`on_decide`; both return ``True``
+    when the input was recognised and consumed.
+    """
+
+    def __init__(self, node: "SaguaroNode") -> None:
+        self.node = node
+
+    def on_start(self) -> None:
+        """Called once when the deployment starts (e.g. to arm round timers)."""
+
+    def handle_message(self, payload: Any, sender: str) -> bool:
+        return False
+
+    def on_decide(self, slot: int, payload: Any) -> bool:
+        return False
+
+    def on_block_integrated(self, block: Any, child_domain: DomainId) -> None:
+        """Called on height-2+ nodes after a child block enters the DAG (§5)."""
+
+    def on_transaction_appended(self, entry: Any) -> None:
+        """Called on height-1 nodes after any transaction is appended locally."""
+
+
+class SaguaroNode:
+    """One simulated server node of a Saguaro domain."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        domain: Domain,
+        hierarchy: Hierarchy,
+        network: Network,
+        simulator: Simulator,
+        config: DeploymentConfig,
+        application: Application,
+        keystore: KeyStore,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        if domain.is_leaf:
+            raise ConfigurationError("leaf domains host edge devices, not servers")
+        self._node_id = node_id
+        self._domain = domain
+        self.hierarchy = hierarchy
+        self.network = network
+        self.simulator = simulator
+        self.config = config
+        self.application = application
+        self.keystore = keystore
+        self.metrics = metrics
+
+        self.cpu = CpuQueue()
+        self.costs = config.costs_for(domain.failure_model)
+        self.signer = Signer(keystore, self.address)
+        self.engine: ConsensusEngine = engine_for(self)
+
+        self.ledger: Optional[LinearLedger] = None
+        self.state: Optional[StateStore] = None
+        self.dag: Optional[DagLedger] = None
+        self.summary: Optional[SummarizedView] = None
+        if domain.height == 1:
+            self.ledger = LinearLedger(domain.id)
+            self.state = StateStore(name=self.address)
+            application.initialize_domain(domain, self.state)
+        else:
+            self.dag = DagLedger(domain.id)
+            self.summary = SummarizedView(domain.id)
+
+        self.components: List[ProtocolComponent] = []
+        #: Scratch space shared between protocol components on the same node
+        #: (e.g. the optimistic protocol exposes per-round aborts and
+        #: dependency lists here for the lazy-propagation component).
+        self.shared: Dict[str, Any] = {}
+        self._executed: Set[TransactionId] = set()
+        self._crashed = False
+
+        network.register(self)
+
+    # ------------------------------------------------------------------ identity
+
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    @property
+    def address(self) -> str:
+        return self._node_id.name
+
+    @property
+    def region(self) -> str:
+        return self._domain.region
+
+    @property
+    def domain(self) -> Domain:
+        return self._domain
+
+    @property
+    def is_primary(self) -> bool:
+        return self.engine.is_primary
+
+    @property
+    def is_height1(self) -> bool:
+        return self._domain.height == 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SaguaroNode {self.address} h={self._domain.height}>"
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def register_component(self, component: ProtocolComponent) -> ProtocolComponent:
+        self.components.append(component)
+        return component
+
+    def start(self) -> None:
+        for component in self.components:
+            component.on_start()
+
+    def crash(self) -> None:
+        """Simulate a crash: the network stops delivering to/from this node."""
+        self._crashed = True
+        self.network.crash(self.address)
+
+    def recover(self) -> None:
+        self._crashed = False
+        self.network.recover(self.address)
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    # ------------------------------------------------------------------ endpoint
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Network entry point: queue CPU work, then process the payload."""
+        if self._crashed:
+            return
+        cost = self._service_cost(envelope.payload)
+        completion = self.cpu.submit(self.simulator.now, cost)
+        self.simulator.schedule_at(
+            completion,
+            lambda: self._process(envelope.payload, envelope.sender),
+            label=f"{self.address}:{type(envelope.payload).__name__}",
+        )
+
+    def _service_cost(self, payload: Any) -> float:
+        verifications = getattr(payload, "verify_count", 1)
+        return self.costs.base_handling_ms + self.costs.verify_ms * verifications
+
+    def _process(self, payload: Any, sender: str) -> None:
+        if self._crashed:
+            return
+        if self.engine.handle_message(payload, sender):
+            return
+        for component in self.components:
+            if component.handle_message(payload, sender):
+                return
+
+    # ------------------------------------------------------------------ consensus host
+
+    @property
+    def hosted_domain(self) -> Domain:
+        return self._domain
+
+    def domain_peer_addresses(self) -> List[str]:
+        return [n.name for n in self._domain.node_ids if n != self._node_id]
+
+    def send_protocol_message(self, to_address: str, message: Any) -> None:
+        self.network.send(self.address, to_address, message)
+
+    def now(self) -> float:
+        return self.simulator.now
+
+    def set_timer(self, delay_ms: float, callback: Callable[[], None]) -> Timer:
+        return self.simulator.set_timer(delay_ms, callback)
+
+    def consensus_decided(self, slot: int, payload: Any) -> None:
+        for component in self.components:
+            if component.on_decide(slot, payload):
+                return
+
+    def notify_block_integrated(self, block: Any, child_domain: DomainId) -> None:
+        """Fan a freshly integrated child block out to every protocol component."""
+        for component in self.components:
+            component.on_block_integrated(block, child_domain)
+
+    # ------------------------------------------------------------------ messaging helpers
+
+    def send(self, to_address: str, message: Any) -> None:
+        self.network.send(self.address, to_address, message)
+
+    def nodes_of(self, domain_id: DomainId) -> List[str]:
+        return self.hierarchy.domain(domain_id).node_names
+
+    def primary_address_of(self, domain_id: DomainId) -> str:
+        """Address of the (view-0) primary of another domain."""
+        return self.hierarchy.domain(domain_id).primary.name
+
+    def multicast_domain(self, domain_id: DomainId, message: Any) -> None:
+        """Send ``message`` to every node of ``domain_id`` (excluding self)."""
+        for address in self.nodes_of(domain_id):
+            if address != self.address:
+                self.send(address, message)
+
+    def multicast_domains(self, domain_ids: List[DomainId], message: Any) -> None:
+        for domain_id in domain_ids:
+            self.multicast_domain(domain_id, message)
+
+    def certify(self, payload_digest: bytes) -> QuorumCertificate:
+        """Assemble the certificate this domain attaches to outbound messages.
+
+        Crash-only domains certify with the primary's signature alone; a
+        Byzantine domain needs ``2f + 1`` signatures (§4).  In the simulation
+        the primary assembles the certificate directly from the key store —
+        the signatures stand for the commit votes collected during internal
+        consensus, so no extra message round is charged, but receivers still
+        pay the verification cost for every contained signature.
+        """
+        required = self._domain.certificate_size
+        contributions: Dict[str, bytes] = {}
+        for node_name in self._domain.node_names[:required]:
+            contributions[node_name] = self.keystore.sign(node_name, payload_digest)
+        return self.signer.certify(payload_digest, contributions, required)
+
+    def reply_to_client(
+        self,
+        client_address: str,
+        transaction: Transaction,
+        success: bool,
+        result: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        reply = ClientReply(
+            tid=transaction.tid,
+            success=success,
+            responder=self.address,
+            result=result,
+        )
+        self.send(client_address, reply)
+
+    # ------------------------------------------------------------------ ledger & execution
+
+    def append_and_execute(
+        self,
+        transaction: Transaction,
+        status: TransactionStatus = TransactionStatus.COMMITTED,
+    ) -> CommittedEntry:
+        """Append ``transaction`` to this height-1 ledger and execute it once."""
+        if self.ledger is None or self.state is None:
+            raise ConfigurationError(f"{self.address} is not a height-1 node")
+        record = self.ledger.append_transaction(
+            transaction, status=status, commit_time_ms=self.simulator.now
+        )
+        self.execute_once(transaction)
+        for component in self.components:
+            component.on_transaction_appended(record.entry)
+        return record.entry
+
+    def execute_once(self, transaction: Transaction) -> Optional[ExecutionResult]:
+        """Execute a transaction against local state at most once."""
+        if self.state is None:
+            return None
+        if transaction.tid in self._executed:
+            return None
+        self._executed.add(transaction.tid)
+        return self.application.execute(transaction, self.state, self._domain.id)
+
+    def has_executed(self, tid: TransactionId) -> bool:
+        return tid in self._executed
+
+    # ------------------------------------------------------------------ metrics helpers
+
+    def note_commit(self, tid: TransactionId) -> None:
+        """Record the paper's commit point: appended to a height-1 ledger."""
+        if self.metrics is not None:
+            self.metrics.record_commit(tid, self.simulator.now)
+
+    def note_abort(self, tid: TransactionId, reason: str) -> None:
+        if self.metrics is not None:
+            self.metrics.record_abort(tid, self.simulator.now, reason)

@@ -1,0 +1,26 @@
+"""Simulated PKI, digests, Merkle trees, and quorum certificates."""
+
+from repro.crypto.certificates import (
+    QuorumCertificate,
+    SignedPayload,
+    Signer,
+    ThresholdSignature,
+)
+from repro.crypto.digests import canonical_encode, digest, digest_hex
+from repro.crypto.keys import KeyPair, KeyStore
+from repro.crypto.merkle import EMPTY_ROOT, MerkleProof, MerkleTree
+
+__all__ = [
+    "KeyPair",
+    "KeyStore",
+    "canonical_encode",
+    "digest",
+    "digest_hex",
+    "MerkleTree",
+    "MerkleProof",
+    "EMPTY_ROOT",
+    "SignedPayload",
+    "QuorumCertificate",
+    "ThresholdSignature",
+    "Signer",
+]

@@ -1,0 +1,114 @@
+"""Merkle hash trees.
+
+Block messages propagated up the hierarchy (§5) include the Merkle hash tree
+of the transactions they carry so that higher-level domains can verify the
+content of a block without trusting the sending primary.  The implementation
+supports building the tree, obtaining the root, and generating / verifying
+inclusion proofs for individual leaves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import CryptoError
+
+__all__ = ["MerkleTree", "MerkleProof", "EMPTY_ROOT"]
+
+#: Root of a tree with no leaves.
+EMPTY_ROOT = hashlib.sha256(b"saguaro-empty-merkle").digest()
+
+
+def _hash_leaf(leaf: bytes) -> bytes:
+    return hashlib.sha256(b"\x00" + leaf).digest()
+
+
+def _hash_node(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(b"\x01" + left + right).digest()
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof for one leaf.
+
+    ``path`` lists ``(sibling_hash, sibling_is_right)`` pairs from the leaf up
+    to (but not including) the root.
+    """
+
+    leaf_index: int
+    leaf_hash: bytes
+    path: Tuple[Tuple[bytes, bool], ...]
+
+    def verify(self, root: bytes) -> bool:
+        """Check that this proof links the leaf to ``root``."""
+        current = self.leaf_hash
+        for sibling, sibling_is_right in self.path:
+            if sibling_is_right:
+                current = _hash_node(current, sibling)
+            else:
+                current = _hash_node(sibling, current)
+        return current == root
+
+
+class MerkleTree:
+    """A binary Merkle tree over an ordered sequence of byte-string leaves.
+
+    Odd nodes at any level are promoted unchanged (Bitcoin-style duplication is
+    avoided to keep proofs unambiguous).
+    """
+
+    def __init__(self, leaves: Sequence[bytes]) -> None:
+        self._leaves = [bytes(leaf) for leaf in leaves]
+        self._levels: List[List[bytes]] = []
+        self._build()
+
+    def _build(self) -> None:
+        if not self._leaves:
+            self._levels = [[EMPTY_ROOT]]
+            return
+        level = [_hash_leaf(leaf) for leaf in self._leaves]
+        self._levels = [level]
+        while len(level) > 1:
+            next_level: List[bytes] = []
+            for i in range(0, len(level), 2):
+                if i + 1 < len(level):
+                    next_level.append(_hash_node(level[i], level[i + 1]))
+                else:
+                    next_level.append(level[i])
+            level = next_level
+            self._levels.append(level)
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def root(self) -> bytes:
+        """Root hash of the tree (``EMPTY_ROOT`` for an empty tree)."""
+        return self._levels[-1][0]
+
+    def proof(self, index: int) -> MerkleProof:
+        """Inclusion proof for the leaf at ``index``."""
+        if not self._leaves:
+            raise CryptoError("cannot prove inclusion in an empty tree")
+        if not 0 <= index < len(self._leaves):
+            raise CryptoError(f"leaf index {index} out of range")
+        path: List[Tuple[bytes, bool]] = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling_is_right = position % 2 == 0
+            sibling_index = position + 1 if sibling_is_right else position - 1
+            if sibling_index < len(level):
+                path.append((level[sibling_index], sibling_is_right))
+            position //= 2
+        return MerkleProof(
+            leaf_index=index,
+            leaf_hash=_hash_leaf(self._leaves[index]),
+            path=tuple(path),
+        )
+
+    @classmethod
+    def root_of(cls, leaves: Sequence[bytes]) -> bytes:
+        """Convenience helper returning only the root of ``leaves``."""
+        return cls(leaves).root

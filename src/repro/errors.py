@@ -1,0 +1,127 @@
+"""Exception hierarchy shared by every Saguaro subsystem.
+
+All library-defined exceptions derive from :class:`SaguaroError` so that
+callers can catch a single base class.  Each subsystem raises the most
+specific subclass that applies; nothing in the library raises a bare
+``Exception``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SaguaroError",
+    "ConfigurationError",
+    "TopologyError",
+    "UnknownDomainError",
+    "UnknownNodeError",
+    "CryptoError",
+    "SignatureError",
+    "CertificateError",
+    "LedgerError",
+    "ChainIntegrityError",
+    "UnknownBlockError",
+    "StateError",
+    "InsufficientBalanceError",
+    "UnknownAccountError",
+    "ConsensusError",
+    "NotPrimaryError",
+    "ViewChangeError",
+    "TransactionError",
+    "TransactionAbortedError",
+    "SimulationError",
+    "NetworkError",
+    "WorkloadError",
+    "ExperimentError",
+]
+
+
+class SaguaroError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ConfigurationError(SaguaroError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class TopologyError(SaguaroError):
+    """The hierarchical topology is malformed (cycles, orphans, bad heights)."""
+
+
+class UnknownDomainError(TopologyError):
+    """A domain identifier does not exist in the hierarchy."""
+
+
+class UnknownNodeError(TopologyError):
+    """A node identifier does not exist in any domain."""
+
+
+class CryptoError(SaguaroError):
+    """Base class for cryptographic failures."""
+
+
+class SignatureError(CryptoError):
+    """A digital signature failed verification."""
+
+
+class CertificateError(CryptoError):
+    """A quorum certificate is missing signatures or contains invalid ones."""
+
+
+class LedgerError(SaguaroError):
+    """Base class for blockchain-ledger failures."""
+
+
+class ChainIntegrityError(LedgerError):
+    """A block does not extend the chain it was appended to (bad parent hash)."""
+
+
+class UnknownBlockError(LedgerError):
+    """A referenced block is not present in the ledger."""
+
+
+class StateError(SaguaroError):
+    """Base class for blockchain-state (datastore) failures."""
+
+
+class UnknownAccountError(StateError):
+    """An account referenced by a transaction does not exist."""
+
+
+class InsufficientBalanceError(StateError):
+    """A transfer would drive the sender's balance below zero."""
+
+
+class ConsensusError(SaguaroError):
+    """Base class for consensus-protocol failures."""
+
+
+class NotPrimaryError(ConsensusError):
+    """An operation that only the primary may perform was invoked on a replica."""
+
+
+class ViewChangeError(ConsensusError):
+    """A view change could not be completed."""
+
+
+class TransactionError(SaguaroError):
+    """Base class for transaction-processing failures."""
+
+
+class TransactionAbortedError(TransactionError):
+    """A cross-domain transaction was aborted (inconsistency or timeout)."""
+
+
+class SimulationError(SaguaroError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class NetworkError(SaguaroError):
+    """The simulated network was asked to do something impossible."""
+
+
+class WorkloadError(SaguaroError):
+    """A workload generator was configured inconsistently."""
+
+
+class ExperimentError(SaguaroError):
+    """An experiment/benchmark harness failure."""

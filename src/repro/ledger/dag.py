@@ -1,0 +1,276 @@
+"""DAG-structured ledgers maintained by height-2 and above domains.
+
+Higher-level domains receive block messages from possibly multiple child
+domains and order all contained transactions; a cross-domain transaction that
+appears in the ledgers of several children must be appended to the parent's
+ledger only once, which is why the resulting ledger is a directed acyclic
+graph (§5, Figure 3).  The DAG also supports the consistency checking of the
+optimistic protocol (§6): once a cross-domain transaction has been reported by
+two overlapping child domains, the relative order recorded in its multi-part
+sequence numbers can be compared against other transactions sharing the same
+pair of domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.common.types import DomainId, TransactionId, TransactionStatus
+from repro.errors import LedgerError, UnknownBlockError
+from repro.ledger.block import BlockMessage
+from repro.ledger.transaction import CommittedEntry
+
+__all__ = ["DagVertex", "OrderInconsistency", "DagLedger", "deterministic_abort_choice"]
+
+
+def deterministic_abort_choice(first: TransactionId, second: TransactionId) -> TransactionId:
+    """Pick which of two inconsistently ordered transactions to abort.
+
+    The rule must be deterministic so every higher-level domain reaches the
+    same decision (§6); following the paper's example, the transaction with
+    the lowest identifier is aborted.
+    """
+    return first if first.number <= second.number else second
+
+
+@dataclass
+class DagVertex:
+    """One transaction in the DAG, possibly merged from several children."""
+
+    entry: CommittedEntry
+    parents: Set[TransactionId] = field(default_factory=set)
+    reported_by: Set[DomainId] = field(default_factory=set)
+    rounds: Dict[DomainId, int] = field(default_factory=dict)
+
+    @property
+    def tid(self) -> TransactionId:
+        return self.entry.tid
+
+    @property
+    def is_cross_domain(self) -> bool:
+        return len(self.entry.transaction.involved_domains) > 1
+
+    @property
+    def fully_reported(self) -> bool:
+        """True once every involved height-1 domain has reported the transaction."""
+        return set(self.entry.transaction.involved_domains) <= self.reported_by
+
+
+@dataclass(frozen=True)
+class OrderInconsistency:
+    """Two transactions appended in opposite orders by two shared domains."""
+
+    first: TransactionId
+    second: TransactionId
+    domain_a: DomainId
+    domain_b: DomainId
+
+    @property
+    def victim(self) -> TransactionId:
+        return deterministic_abort_choice(self.first, self.second)
+
+
+class DagLedger:
+    """The summarized, DAG-structured ledger of a height-2+ domain."""
+
+    def __init__(self, domain: DomainId) -> None:
+        self._domain = domain
+        self._vertices: Dict[TransactionId, DagVertex] = {}
+        self._order: List[TransactionId] = []
+        self._last_from_child: Dict[DomainId, Optional[TransactionId]] = {}
+        self._rounds_from_child: Dict[DomainId, int] = {}
+        self._aborted: Set[TransactionId] = set()
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def domain(self) -> DomainId:
+        return self._domain
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __contains__(self, tid: TransactionId) -> bool:
+        return tid in self._vertices
+
+    def vertex(self, tid: TransactionId) -> DagVertex:
+        try:
+            return self._vertices[tid]
+        except KeyError as exc:
+            raise UnknownBlockError(f"{tid} not in DAG of {self._domain}") from exc
+
+    def aborted(self) -> Tuple[TransactionId, ...]:
+        return tuple(sorted(self._aborted, key=lambda t: t.number))
+
+    def rounds_received_from(self, child: DomainId) -> int:
+        return self._rounds_from_child.get(child, 0)
+
+    def transactions(self) -> List[DagVertex]:
+        return [self._vertices[tid] for tid in self._order]
+
+    def cross_domain_vertices(self) -> List[DagVertex]:
+        return [v for v in self.transactions() if v.is_cross_domain]
+
+    # -- integration ------------------------------------------------------------------
+
+    def integrate_block(self, block: BlockMessage, child: DomainId) -> List[TransactionId]:
+        """Fold one child block message into the DAG.
+
+        Returns the transaction identifiers newly added by this block (entries
+        already present from another child are merged in place rather than
+        duplicated, as required for cross-domain transactions).
+        """
+        expected_round = self._rounds_from_child.get(child, 0) + 1
+        if block.round_number < expected_round:
+            raise LedgerError(
+                f"{self._domain}: stale round {block.round_number} from {child} "
+                f"(expected >= {expected_round})"
+            )
+        if not block.verify_merkle_root():
+            raise LedgerError(
+                f"{self._domain}: block {block} fails Merkle verification"
+            )
+
+        added: List[TransactionId] = []
+        previous = self._last_from_child.get(child)
+        for entry in block.entries:
+            tid = entry.tid
+            existing = self._vertices.get(tid)
+            if existing is None:
+                vertex = DagVertex(entry=entry)
+                self._vertices[tid] = vertex
+                self._order.append(tid)
+                added.append(tid)
+            else:
+                merged_sequence = existing.entry.sequence.merged_with(entry.sequence)
+                existing.entry = existing.entry.with_sequence(merged_sequence)
+                vertex = existing
+            vertex.reported_by.update(entry.sequence.domains)
+            vertex.rounds[child] = block.round_number
+            if previous is not None and previous != tid:
+                vertex.parents.add(previous)
+            previous = tid
+        self._last_from_child[child] = previous
+        self._rounds_from_child[child] = block.round_number
+
+        for tid in block.aborted:
+            self.mark_aborted(tid)
+        return added
+
+    def mark_aborted(self, tid: TransactionId) -> None:
+        self._aborted.add(tid)
+        vertex = self._vertices.get(tid)
+        if vertex is not None:
+            vertex.entry = vertex.entry.with_status(TransactionStatus.ABORTED)
+
+    # -- consistency checking -------------------------------------------------------------
+
+    def find_order_inconsistencies(
+        self, restrict_to: Optional[Iterable[TransactionId]] = None
+    ) -> List[OrderInconsistency]:
+        """Cross-domain transaction pairs appended in conflicting orders.
+
+        Two committed cross-domain transactions are inconsistent when they
+        share at least two involved domains and those domains recorded them in
+        opposite orders (detectable from the multi-part sequence numbers once
+        both domains have reported both transactions).  ``restrict_to`` limits
+        the left-hand side of the pairwise comparison to the given
+        transactions (callers pass the transactions of a freshly integrated
+        block, making the check incremental).
+        """
+        inconsistencies: List[OrderInconsistency] = []
+        others = [
+            v for v in self.cross_domain_vertices() if v.tid not in self._aborted
+        ]
+        if restrict_to is None:
+            candidates = others
+        else:
+            wanted = set(restrict_to)
+            candidates = [v for v in others if v.tid in wanted]
+        seen_pairs = set()
+        for left in candidates:
+            for right in others:
+                if left.tid == right.tid:
+                    continue
+                pair = frozenset((left.tid, right.tid))
+                if pair in seen_pairs:
+                    continue
+                seen_pairs.add(pair)
+                conflict = self._compare_pair(left, right)
+                if conflict is not None:
+                    inconsistencies.append(conflict)
+        return inconsistencies
+
+    def _compare_pair(
+        self, left: DagVertex, right: DagVertex
+    ) -> Optional[OrderInconsistency]:
+        shared = [
+            d
+            for d in left.entry.transaction.involved_domains
+            if d in right.entry.transaction.involved_domains
+        ]
+        if len(shared) < 2:
+            return None
+        orders: List[Tuple[DomainId, int]] = []
+        for domain in shared:
+            left_pos = left.entry.position_in(domain)
+            right_pos = right.entry.position_in(domain)
+            if left_pos is None or right_pos is None:
+                continue  # not yet reported by this domain
+            orders.append((domain, -1 if left_pos < right_pos else 1))
+        for (domain_a, dir_a) in orders:
+            for (domain_b, dir_b) in orders:
+                if dir_a != dir_b:
+                    return OrderInconsistency(
+                        first=left.tid,
+                        second=right.tid,
+                        domain_a=domain_a,
+                        domain_b=domain_b,
+                    )
+        return None
+
+    def pending_cross_domain(self) -> List[DagVertex]:
+        """Cross-domain transactions not yet reported by all involved domains."""
+        return [
+            v
+            for v in self.cross_domain_vertices()
+            if not v.fully_reported and v.tid not in self._aborted
+        ]
+
+    # -- ordering ----------------------------------------------------------------------------
+
+    def topological_order(self) -> List[TransactionId]:
+        """A topological ordering of the DAG (insertion order is a valid one).
+
+        Raises :class:`LedgerError` if the recorded parent edges contain a
+        cycle, which would indicate corrupted input blocks.
+        """
+        in_degree: Dict[TransactionId, int] = {tid: 0 for tid in self._order}
+        children: Dict[TransactionId, List[TransactionId]] = {
+            tid: [] for tid in self._order
+        }
+        for tid, vertex in self._vertices.items():
+            for parent in vertex.parents:
+                if parent in in_degree:
+                    in_degree[tid] += 1
+                    children[parent].append(tid)
+        ready = [tid for tid in self._order if in_degree[tid] == 0]
+        result: List[TransactionId] = []
+        while ready:
+            current = ready.pop(0)
+            result.append(current)
+            for child in children[current]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    ready.append(child)
+        if len(result) != len(self._order):
+            raise LedgerError(f"{self._domain}: DAG contains a cycle")
+        return result
+
+    def committed_count(self) -> int:
+        return sum(
+            1
+            for v in self._vertices.values()
+            if v.entry.status is not TransactionStatus.ABORTED
+        )

@@ -1,0 +1,178 @@
+"""Blockchain state: the versioned datastore updated by executing transactions.
+
+Every domain replicates a :class:`StateStore` on all of its nodes (§3).
+Height-1 domains hold the full application state for their locality; height-2
+and above domains hold only a *summarized* view produced by the abstraction
+function λ (§5), managed by :mod:`repro.ledger.abstraction`.
+
+The store is a simple versioned key-value map.  Every write bumps a global
+version and is recorded in a write log so that deltas between versions — the
+``D_rn − D_rn−1`` the paper feeds to λ at the end of each round — can be
+extracted cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import InsufficientBalanceError, StateError, UnknownAccountError
+
+__all__ = ["StateStore", "WriteRecord"]
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One entry of the write log: (version, key, new value)."""
+
+    version: int
+    key: str
+    value: Any
+
+
+class StateStore:
+    """A versioned key-value store with numeric-balance helpers."""
+
+    def __init__(self, name: str = "state") -> None:
+        self._name = name
+        self._data: Dict[str, Any] = {}
+        self._version = 0
+        self._log: List[WriteRecord] = []
+
+    # -- generic key-value interface --------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter incremented on every write."""
+        return self._version
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._data.keys())
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def read(self, key: str) -> Any:
+        """Strict read; raises :class:`StateError` when the key is absent."""
+        if key not in self._data:
+            raise StateError(f"{self._name}: unknown key {key!r}")
+        return self._data[key]
+
+    def put(self, key: str, value: Any) -> int:
+        """Write ``value`` under ``key``; returns the new store version."""
+        self._version += 1
+        self._data[key] = value
+        self._log.append(WriteRecord(version=self._version, key=key, value=value))
+        return self._version
+
+    def increment(self, key: str, amount: float = 1) -> Any:
+        """Add ``amount`` to a numeric key (creating it at 0 when absent)."""
+        current = self._data.get(key, 0)
+        if not isinstance(current, (int, float)):
+            raise StateError(f"{self._name}: key {key!r} is not numeric")
+        new_value = current + amount
+        self.put(key, new_value)
+        return new_value
+
+    # -- account helpers (micropayment-style balances) ----------------------------
+
+    def create_account(self, account: str, balance: float = 0) -> None:
+        if balance < 0:
+            raise StateError("initial balance must be non-negative")
+        if account in self._data:
+            raise StateError(f"{self._name}: account {account!r} already exists")
+        self.put(account, balance)
+
+    def has_account(self, account: str) -> bool:
+        return account in self._data
+
+    def balance(self, account: str) -> float:
+        if account not in self._data:
+            raise UnknownAccountError(f"{self._name}: unknown account {account!r}")
+        value = self._data[account]
+        if not isinstance(value, (int, float)):
+            raise StateError(f"{self._name}: key {account!r} is not a balance")
+        return value
+
+    def deposit(self, account: str, amount: float) -> float:
+        if amount < 0:
+            raise StateError("deposit amount must be non-negative")
+        if account not in self._data:
+            raise UnknownAccountError(f"{self._name}: unknown account {account!r}")
+        return self.increment(account, amount)
+
+    def withdraw(self, account: str, amount: float) -> float:
+        if amount < 0:
+            raise StateError("withdrawal amount must be non-negative")
+        current = self.balance(account)
+        if current < amount:
+            raise InsufficientBalanceError(
+                f"{self._name}: {account!r} holds {current}, cannot withdraw {amount}"
+            )
+        return self.increment(account, -amount)
+
+    def transfer(self, sender: str, recipient: str, amount: float) -> None:
+        """Atomically move ``amount`` from ``sender`` to ``recipient``."""
+        self.withdraw(sender, amount)
+        try:
+            self.deposit(recipient, amount)
+        except StateError:
+            # Roll the withdrawal back so a failed transfer leaves no trace.
+            self.increment(sender, amount)
+            raise
+
+    # -- versions, deltas, snapshots -----------------------------------------------
+
+    def delta_since(self, version: int) -> Dict[str, Any]:
+        """Latest value of every key written after ``version``."""
+        if version < 0 or version > self._version:
+            raise StateError(
+                f"{self._name}: version {version} outside [0, {self._version}]"
+            )
+        delta: Dict[str, Any] = {}
+        for record in self._log:
+            if record.version > version:
+                delta[record.key] = record.value
+        return delta
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A copy of the full key-value content."""
+        return dict(self._data)
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        """Replace the content with ``snapshot`` (used for rollbacks).
+
+        The version counter keeps advancing so deltas computed across a
+        restore still observe every key that changed.
+        """
+        removed = set(self._data) - set(snapshot)
+        for key, value in snapshot.items():
+            if self._data.get(key) != value:
+                self.put(key, value)
+        for key in removed:
+            self.put(key, None)
+            del self._data[key]
+
+    def totals(self, prefix: str = "") -> float:
+        """Sum of all numeric values whose key starts with ``prefix``."""
+        return sum(
+            value
+            for key, value in self._data.items()
+            if key.startswith(prefix) and isinstance(value, (int, float))
+        )
+
+    def write_log(self, since_version: int = 0) -> Tuple[WriteRecord, ...]:
+        return tuple(r for r in self._log if r.version > since_version)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"StateStore({self._name}, keys={len(self._data)}, v={self._version})"

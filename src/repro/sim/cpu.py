@@ -1,0 +1,61 @@
+"""Single-server CPU queue model for simulated nodes.
+
+Each server node owns a :class:`CpuQueue`.  Handling a protocol message
+occupies the node's CPU for a service time derived from the deployment's
+:class:`~repro.common.config.NodeCostModel`; while the CPU is busy, newly
+arriving work waits.  This is what makes throughput saturate (and latency
+climb) as offered load grows — the behaviour the paper's throughput-versus-
+latency plots exhibit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["CpuQueue"]
+
+
+class CpuQueue:
+    """FIFO single-server queue tracking when the CPU next becomes free."""
+
+    def __init__(self) -> None:
+        self._busy_until = 0.0
+        self._busy_time_total = 0.0
+        self._jobs = 0
+
+    @property
+    def busy_until(self) -> float:
+        """Simulated time at which all queued work completes."""
+        return self._busy_until
+
+    @property
+    def total_busy_ms(self) -> float:
+        """Cumulative service time executed (for utilisation reporting)."""
+        return self._busy_time_total
+
+    @property
+    def jobs_executed(self) -> int:
+        return self._jobs
+
+    def submit(self, arrival_ms: float, service_ms: float) -> float:
+        """Enqueue a job arriving at ``arrival_ms`` needing ``service_ms``.
+
+        Returns the completion time.  Jobs are served in arrival order; a job
+        arriving while the CPU is idle starts immediately.
+        """
+        if service_ms < 0:
+            raise SimulationError(f"negative service time: {service_ms}")
+        if arrival_ms < 0:
+            raise SimulationError(f"negative arrival time: {arrival_ms}")
+        start = max(arrival_ms, self._busy_until)
+        completion = start + service_ms
+        self._busy_until = completion
+        self._busy_time_total += service_ms
+        self._jobs += 1
+        return completion
+
+    def utilisation(self, horizon_ms: float) -> float:
+        """Fraction of ``horizon_ms`` the CPU spent busy (clamped to 1.0)."""
+        if horizon_ms <= 0:
+            return 0.0
+        return min(1.0, self._busy_time_total / horizon_ms)

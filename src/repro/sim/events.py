@@ -1,0 +1,71 @@
+"""Event queue primitives for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["ScheduledEvent", "EventQueue"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled at a simulated time.
+
+    Events are ordered by ``(time, sequence)`` so that ties are broken by
+    insertion order, keeping runs deterministic.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (the heap entry stays in place)."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`ScheduledEvent` keyed by time."""
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(self, time: float, callback: Callable[[], Any], label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` at simulated ``time``."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        event = ScheduledEvent(
+            time=time, sequence=next(self._counter), callback=callback, label=label
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Pop the earliest non-cancelled event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest non-cancelled event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

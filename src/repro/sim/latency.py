@@ -1,0 +1,180 @@
+"""Wide-area latency models.
+
+The paper's experiments place domains in real AWS regions and quote measured
+round-trip times.  We reproduce those placements with static RTT matrices:
+
+* ``nearby-eu`` — the four European regions of §8.1 with the RTTs reported in
+  the paper (Frankfurt, Milan, London, Paris).
+* ``wide-area`` — the seven globally distributed regions of §8.3 (California,
+  Oregon, Virginia, Ohio, Tokyo, Seoul, Hong Kong) with RTTs taken from public
+  AWS inter-region measurements (cloudping), rounded to the millisecond.
+* ``lan`` — a single site, used for the fault-tolerance scalability
+  experiments of §8.4 where all nodes share one region.
+
+One-way delay is RTT/2 plus a small serialization component proportional to
+message size, plus multiplicative jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+import random
+
+from repro.errors import NetworkError
+
+__all__ = [
+    "LatencyModel",
+    "nearby_eu_profile",
+    "wide_area_profile",
+    "lan_profile",
+    "uniform_profile",
+    "latency_profile",
+    "PROFILE_NAMES",
+]
+
+#: Intra-region (LAN) round trip in milliseconds.
+_LOCAL_RTT_MS = 0.4
+
+#: RTTs (ms) reported in §8.1 for the nearby European regions.
+_NEARBY_EU_RTTS: Dict[FrozenSet[str], float] = {
+    frozenset({"FR", "MI"}): 11.0,
+    frozenset({"FR", "LDN"}): 17.0,
+    frozenset({"FR", "PAR"}): 9.0,
+    frozenset({"MI", "LDN"}): 25.0,
+    frozenset({"MI", "PAR"}): 19.0,
+    frozenset({"LDN", "PAR"}): 10.0,
+}
+
+#: RTTs (ms) for the seven wide-area regions of §8.3 (public cloudping data).
+_WIDE_AREA_RTTS: Dict[FrozenSet[str], float] = {
+    frozenset({"CA", "OR"}): 22.0,
+    frozenset({"CA", "VA"}): 62.0,
+    frozenset({"CA", "OH"}): 52.0,
+    frozenset({"CA", "TY"}): 107.0,
+    frozenset({"CA", "SU"}): 134.0,
+    frozenset({"CA", "HK"}): 154.0,
+    frozenset({"OR", "VA"}): 68.0,
+    frozenset({"OR", "OH"}): 59.0,
+    frozenset({"OR", "TY"}): 97.0,
+    frozenset({"OR", "SU"}): 126.0,
+    frozenset({"OR", "HK"}): 143.0,
+    frozenset({"VA", "OH"}): 12.0,
+    frozenset({"VA", "TY"}): 145.0,
+    frozenset({"VA", "SU"}): 175.0,
+    frozenset({"VA", "HK"}): 196.0,
+    frozenset({"OH", "TY"}): 134.0,
+    frozenset({"OH", "SU"}): 164.0,
+    frozenset({"OH", "HK"}): 184.0,
+    frozenset({"TY", "SU"}): 34.0,
+    frozenset({"TY", "HK"}): 51.0,
+    frozenset({"SU", "HK"}): 39.0,
+}
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Pairwise region latency with jitter and serialization delay."""
+
+    name: str
+    regions: Tuple[str, ...]
+    rtt_ms: Mapping[FrozenSet[str], float] = field(default_factory=dict)
+    local_rtt_ms: float = _LOCAL_RTT_MS
+    jitter_fraction: float = 0.05
+    bandwidth_kb_per_ms: float = 1250.0  # ~10 Gbit/s
+
+    def __post_init__(self) -> None:
+        if self.local_rtt_ms <= 0:
+            raise NetworkError("local_rtt_ms must be positive")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise NetworkError("jitter_fraction must be in [0, 1)")
+        if self.bandwidth_kb_per_ms <= 0:
+            raise NetworkError("bandwidth must be positive")
+
+    def rtt(self, region_a: str, region_b: str) -> float:
+        """Round-trip time between two regions (ms), without jitter."""
+        if region_a == region_b:
+            return self.local_rtt_ms
+        key = frozenset({region_a, region_b})
+        value = self.rtt_ms.get(key)
+        if value is None:
+            raise NetworkError(
+                f"no RTT defined between {region_a!r} and {region_b!r} "
+                f"in profile {self.name!r}"
+            )
+        return value
+
+    def one_way_ms(
+        self,
+        src_region: str,
+        dst_region: str,
+        size_kb: float = 0.2,
+        rng: Optional[random.Random] = None,
+    ) -> float:
+        """One-way delay for a message of ``size_kb`` kilobytes."""
+        base = self.rtt(src_region, dst_region) / 2.0
+        serialization = size_kb / self.bandwidth_kb_per_ms
+        delay = base + serialization
+        if rng is not None and self.jitter_fraction > 0:
+            delay *= 1.0 + rng.uniform(0.0, self.jitter_fraction)
+        return delay
+
+    def mean_rtt(self) -> float:
+        """Average inter-region RTT (useful for reporting)."""
+        if not self.rtt_ms:
+            return self.local_rtt_ms
+        return sum(self.rtt_ms.values()) / len(self.rtt_ms)
+
+
+def nearby_eu_profile() -> LatencyModel:
+    """The four nearby European regions of §8.1."""
+    return LatencyModel(
+        name="nearby-eu",
+        regions=("FR", "MI", "LDN", "PAR"),
+        rtt_ms=dict(_NEARBY_EU_RTTS),
+    )
+
+
+def wide_area_profile() -> LatencyModel:
+    """The seven far-apart regions of §8.3."""
+    return LatencyModel(
+        name="wide-area",
+        regions=("CA", "OR", "VA", "OH", "TY", "SU", "HK"),
+        rtt_ms=dict(_WIDE_AREA_RTTS),
+    )
+
+
+def lan_profile() -> LatencyModel:
+    """A single-region deployment (all domains in one AWS region, §8.4)."""
+    return LatencyModel(name="lan", regions=("LOCAL",), rtt_ms={})
+
+
+def uniform_profile(regions: Tuple[str, ...], rtt_ms: float, name: str = "uniform") -> LatencyModel:
+    """A profile where every pair of distinct regions has the same RTT."""
+    if rtt_ms <= 0:
+        raise NetworkError("rtt_ms must be positive")
+    matrix = {
+        frozenset({a, b}): rtt_ms
+        for i, a in enumerate(regions)
+        for b in regions[i + 1 :]
+    }
+    return LatencyModel(name=name, regions=tuple(regions), rtt_ms=matrix)
+
+
+PROFILE_NAMES = ("nearby-eu", "wide-area", "lan")
+
+
+def latency_profile(name: str) -> LatencyModel:
+    """Look up a named latency profile."""
+    factories = {
+        "nearby-eu": nearby_eu_profile,
+        "wide-area": wide_area_profile,
+        "lan": lan_profile,
+    }
+    try:
+        return factories[name]()
+    except KeyError as exc:
+        raise NetworkError(
+            f"unknown latency profile {name!r}; known: {sorted(factories)}"
+        ) from exc

@@ -1,0 +1,29 @@
+"""Hierarchical edge-network topology: domains, the tree, LCA, placements."""
+
+from repro.topology.builders import (
+    build_flat_domains,
+    build_paper_figure1_tree,
+    build_tree,
+)
+from repro.topology.domain import Domain
+from repro.topology.hierarchy import Hierarchy
+from repro.topology.regions import (
+    place_nearby_eu,
+    place_round_robin,
+    place_single_region,
+    place_wide_area,
+    placement_for_profile,
+)
+
+__all__ = [
+    "Domain",
+    "Hierarchy",
+    "build_tree",
+    "build_paper_figure1_tree",
+    "build_flat_domains",
+    "place_nearby_eu",
+    "place_wide_area",
+    "place_single_region",
+    "place_round_robin",
+    "placement_for_profile",
+]

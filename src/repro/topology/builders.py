@@ -1,0 +1,127 @@
+"""Builders for the hierarchical deployments used in the paper.
+
+The evaluation (§8) runs on a "typical four-level edge network (edge devices,
+edge servers, fog servers, and cloud servers) structured as a perfect binary
+tree" — Figure 1's eleven domains.  :func:`build_tree` constructs that shape
+(and generalisations of it) from a :class:`~repro.common.config.HierarchySpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.config import DomainSpec, HierarchySpec
+from repro.common.types import DomainId
+from repro.errors import ConfigurationError
+from repro.topology.domain import Domain
+from repro.topology.hierarchy import Hierarchy
+
+__all__ = ["build_tree", "build_paper_figure1_tree", "build_flat_domains"]
+
+
+def _make_domain(domain_id: DomainId, spec: DomainSpec) -> Domain:
+    return Domain(
+        id=domain_id,
+        failure_model=spec.failure_model,
+        faults=spec.faults,
+        region=spec.region or "LOCAL",
+        num_nodes=spec.num_nodes,
+    )
+
+
+def build_tree(spec: HierarchySpec, leaves_per_height1: int = 1) -> Hierarchy:
+    """Build a perfect ``spec.branching``-ary tree of domains.
+
+    Heights run from ``spec.levels - 1`` (the root) down to 1 (edge servers);
+    every height-1 domain then receives ``leaves_per_height1`` leaf (height-0)
+    domains for its edge devices.  Per-domain failure models / sizes are taken
+    from ``spec.per_domain`` keyed by domain name (e.g. ``"D21"``), falling
+    back to ``spec.default_spec``.
+    """
+    if leaves_per_height1 < 1:
+        raise ConfigurationError("leaves_per_height1 must be >= 1")
+    hierarchy = Hierarchy()
+    top_height = spec.levels - 1
+    parents: Dict[int, DomainId] = {}
+
+    # Server levels: root (height = levels - 1) down to height 1.
+    index_of: Dict[DomainId, int] = {}
+    previous_level = []
+    for height in range(top_height, 0, -1):
+        count = spec.branching ** (top_height - height)
+        current_level = []
+        for position in range(1, count + 1):
+            domain_id = DomainId(height=height, index=position)
+            domain = _make_domain(domain_id, spec.spec_for(domain_id.name))
+            if height == top_height:
+                hierarchy.add_domain(domain, parent=None)
+            else:
+                parent_position = (position - 1) // spec.branching + 1
+                parent_id = DomainId(height=height + 1, index=parent_position)
+                hierarchy.add_domain(domain, parent=parent_id)
+            current_level.append(domain_id)
+            index_of[domain_id] = position
+        previous_level = current_level
+
+    # Leaf (height-0) domains: edge-device groups attached to height-1 domains.
+    leaf_index = 1
+    for height1_id in previous_level:
+        for _ in range(leaves_per_height1):
+            leaf_id = DomainId(height=0, index=leaf_index)
+            leaf_spec = spec.spec_for(leaf_id.name)
+            leaf = Domain(
+                id=leaf_id,
+                failure_model=leaf_spec.failure_model,
+                faults=0,
+                region=leaf_spec.region or "LOCAL",
+            )
+            hierarchy.add_domain(leaf, parent=height1_id)
+            leaf_index += 1
+
+    hierarchy.validate()
+    return hierarchy
+
+
+def build_paper_figure1_tree(
+    default_spec: Optional[DomainSpec] = None,
+    per_domain: Optional[Dict[str, DomainSpec]] = None,
+    clients_per_leaf: int = 8,
+) -> Hierarchy:
+    """The eleven-domain, four-level deployment of Figure 1."""
+    spec = HierarchySpec(
+        levels=4,
+        branching=2,
+        clients_per_leaf=clients_per_leaf,
+        default_spec=default_spec or DomainSpec(),
+        per_domain=per_domain or {},
+    )
+    return build_tree(spec)
+
+
+def build_flat_domains(
+    num_domains: int, spec: Optional[DomainSpec] = None
+) -> Hierarchy:
+    """A two-level hierarchy: one root over ``num_domains`` height-1 domains.
+
+    This is the shape the AHL and SharPer baselines assume (a flat set of
+    shards/clusters); the root exists only so that the topology code has a
+    common ancestor but baseline protocols never route messages through it.
+    """
+    if num_domains < 1:
+        raise ConfigurationError("need at least one domain")
+    domain_spec = spec or DomainSpec()
+    hierarchy = Hierarchy()
+    root = Domain(
+        id=DomainId(height=2, index=1),
+        failure_model=domain_spec.failure_model,
+        faults=domain_spec.faults,
+        region=domain_spec.region or "LOCAL",
+    )
+    hierarchy.add_domain(root, parent=None)
+    for position in range(1, num_domains + 1):
+        domain = _make_domain(DomainId(height=1, index=position), domain_spec)
+        hierarchy.add_domain(domain, parent=root.id)
+        leaf = Domain(id=DomainId(height=0, index=position), faults=0)
+        hierarchy.add_domain(leaf, parent=domain.id)
+    hierarchy.validate()
+    return hierarchy

@@ -1,0 +1,111 @@
+"""Domains: fault-tolerant clusters of nodes at one vertex of the hierarchy.
+
+A domain is the logical unit of the Saguaro hierarchy (§3).  Height-1 and
+above domains contain enough server nodes to tolerate ``f`` failures under
+their failure model (``2f + 1`` crash-only or ``3f + 1`` Byzantine nodes) and
+run an internal consensus protocol among them.  Height-0 (leaf) domains group
+the edge devices attached to one height-1 domain; their membership may be
+unknown and they normally do not run consensus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.types import DomainId, FailureModel, NodeId, quorum_size
+from repro.errors import ConfigurationError
+
+__all__ = ["Domain"]
+
+
+@dataclass
+class Domain:
+    """A cluster of nodes at one vertex of the hierarchy."""
+
+    id: DomainId
+    failure_model: FailureModel = FailureModel.CRASH
+    faults: int = 1
+    region: str = "LOCAL"
+    num_nodes: Optional[int] = None
+    _node_ids: Tuple[NodeId, ...] = field(init=False, default=())
+
+    def __post_init__(self) -> None:
+        if self.faults < 0:
+            raise ConfigurationError("faults must be non-negative")
+        minimum = self.failure_model.replication_factor * self.faults + 1
+        if self.num_nodes is None:
+            self.num_nodes = minimum
+        if self.is_leaf:
+            # Leaf domains hold edge devices; they have no server nodes.
+            self._node_ids = ()
+            return
+        if self.num_nodes < minimum:
+            raise ConfigurationError(
+                f"{self.id}: {self.num_nodes} nodes cannot tolerate "
+                f"{self.faults} {self.failure_model.value} failures "
+                f"(need {minimum})"
+            )
+        self._node_ids = tuple(
+            NodeId(domain=self.id, index=i) for i in range(self.num_nodes)
+        )
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return self.id.height
+
+    @property
+    def is_leaf(self) -> bool:
+        """Leaf (height-0) domains contain edge devices, not servers."""
+        return self.id.height == 0
+
+    @property
+    def name(self) -> str:
+        return self.id.name
+
+    @property
+    def node_ids(self) -> Tuple[NodeId, ...]:
+        return self._node_ids
+
+    @property
+    def node_names(self) -> List[str]:
+        return [node.name for node in self._node_ids]
+
+    @property
+    def primary(self) -> NodeId:
+        """The pre-elected primary (index 0 in view 0)."""
+        if not self._node_ids:
+            raise ConfigurationError(f"{self.id} has no server nodes")
+        return self._node_ids[0]
+
+    def primary_for_view(self, view: int) -> NodeId:
+        """Primary after ``view`` view changes (round-robin rotation)."""
+        if not self._node_ids:
+            raise ConfigurationError(f"{self.id} has no server nodes")
+        return self._node_ids[view % len(self._node_ids)]
+
+    # -- quorums --------------------------------------------------------------
+
+    @property
+    def quorum(self) -> int:
+        """Quorum size for the domain's internal consensus protocol."""
+        return quorum_size(len(self._node_ids), self.failure_model)
+
+    @property
+    def certificate_size(self) -> int:
+        """Signatures required to certify an outbound message (§4).
+
+        Crash-only domains are certified by the primary alone; Byzantine
+        domains need ``2f + 1`` signatures because the primary may lie.
+        """
+        if self.failure_model is FailureModel.CRASH:
+            return 1
+        return 2 * self.faults + 1
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"{self.name}({self.failure_model.value}, f={self.faults}, "
+            f"n={len(self._node_ids)}, region={self.region})"
+        )

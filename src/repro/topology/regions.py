@@ -1,0 +1,102 @@
+"""Geographic placement of domains onto latency-profile regions.
+
+The paper evaluates two placements:
+
+* §8.1 (nearby regions): each leaf and its height-1 domain sits in one of the
+  four European regions (FR, MI, LDN, PAR); all higher-level domains are in
+  Frankfurt.
+* §8.3 (wide area): leaves and height-1 domains are in Tokyo, Hong Kong,
+  Virginia and Ohio; height-2 domains are in Seoul and Oregon; the root is in
+  California.
+* §8.4 (fault-tolerance scalability): every node is in a single region.
+
+These helpers mutate ``Domain.region`` in place and return the hierarchy for
+chaining.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.topology.hierarchy import Hierarchy
+
+__all__ = [
+    "place_nearby_eu",
+    "place_wide_area",
+    "place_single_region",
+    "place_round_robin",
+    "placement_for_profile",
+]
+
+_NEARBY_EDGE_REGIONS = ("FR", "MI", "LDN", "PAR")
+_NEARBY_CORE_REGION = "FR"
+
+_WIDE_EDGE_REGIONS = ("TY", "HK", "VA", "OH")
+_WIDE_FOG_REGIONS = ("SU", "OR")
+_WIDE_ROOT_REGION = "CA"
+
+
+def place_round_robin(
+    hierarchy: Hierarchy,
+    edge_regions: Sequence[str],
+    fog_regions: Sequence[str],
+    root_region: str,
+) -> Hierarchy:
+    """Assign regions level by level.
+
+    Height-1 domains (and the leaves beneath them) cycle through
+    ``edge_regions``; height-2 domains cycle through ``fog_regions``; every
+    domain at height 3 or above is placed in ``root_region``.
+    """
+    if not edge_regions or not fog_regions:
+        raise ConfigurationError("edge and fog region lists must be non-empty")
+    for position, domain in enumerate(hierarchy.height1_domains()):
+        region = edge_regions[position % len(edge_regions)]
+        domain.region = region
+        for leaf in hierarchy.children_of(domain.id):
+            leaf.region = region
+    for position, domain in enumerate(hierarchy.domains_at_height(2)):
+        domain.region = fog_regions[position % len(fog_regions)]
+    for domain in hierarchy.all_domains():
+        if domain.height >= 3:
+            domain.region = root_region
+    return hierarchy
+
+
+def place_nearby_eu(hierarchy: Hierarchy) -> Hierarchy:
+    """The §8.1 placement: edges across FR/MI/LDN/PAR, core in Frankfurt."""
+    return place_round_robin(
+        hierarchy,
+        edge_regions=_NEARBY_EDGE_REGIONS,
+        fog_regions=(_NEARBY_CORE_REGION,),
+        root_region=_NEARBY_CORE_REGION,
+    )
+
+
+def place_wide_area(hierarchy: Hierarchy) -> Hierarchy:
+    """The §8.3 placement: edges in TY/HK/VA/OH, fog in SU/OR, root in CA."""
+    return place_round_robin(
+        hierarchy,
+        edge_regions=_WIDE_EDGE_REGIONS,
+        fog_regions=_WIDE_FOG_REGIONS,
+        root_region=_WIDE_ROOT_REGION,
+    )
+
+
+def place_single_region(hierarchy: Hierarchy, region: str = "LOCAL") -> Hierarchy:
+    """Place every domain in one region (the §8.4 scalability experiments)."""
+    for domain in hierarchy.all_domains():
+        domain.region = region
+    return hierarchy
+
+
+def placement_for_profile(hierarchy: Hierarchy, profile_name: str) -> Hierarchy:
+    """Apply the placement matching a named latency profile."""
+    if profile_name == "nearby-eu":
+        return place_nearby_eu(hierarchy)
+    if profile_name == "wide-area":
+        return place_wide_area(hierarchy)
+    if profile_name == "lan":
+        return place_single_region(hierarchy)
+    raise ConfigurationError(f"no placement defined for profile {profile_name!r}")

@@ -1,0 +1,26 @@
+"""Applications (micropayment, ridesharing) and workload generation."""
+
+from repro.workloads.generator import Workload, WorkloadGenerator
+from repro.workloads.micropayment import (
+    MicropaymentApplication,
+    account_key,
+    client_account_key,
+    volume_key,
+)
+from repro.workloads.ridesharing import (
+    RidesharingApplication,
+    driver_earnings_key,
+    driver_hours_key,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadGenerator",
+    "MicropaymentApplication",
+    "account_key",
+    "client_account_key",
+    "volume_key",
+    "RidesharingApplication",
+    "driver_earnings_key",
+    "driver_hours_key",
+]

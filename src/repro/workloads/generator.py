@@ -1,0 +1,242 @@
+"""Workload generation for the paper's experiments (§8).
+
+The generator produces micropayment-style transfer transactions with the three
+knobs the evaluation sweeps:
+
+* ``cross_domain_ratio`` — fraction of transactions that involve two (or more)
+  randomly chosen height-1 domains;
+* ``contention_ratio`` — fraction of transactions whose accounts come from a
+  small per-domain hot set, creating read-write conflicts;
+* ``mobile_ratio`` — fraction of edge devices that are mobile; a mobile device
+  issues ``mobile_txns_per_excursion`` transactions in a remote domain before
+  moving back home.
+
+Transactions are dealt to a configurable number of closed-loop clients, which
+is how offered load is controlled when sweeping throughput-versus-latency
+curves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import WorkloadConfig
+from repro.common.types import (
+    ClientId,
+    DomainId,
+    TransactionId,
+    TransactionKind,
+)
+from repro.errors import WorkloadError
+from repro.ledger.transaction import Transaction
+from repro.topology.hierarchy import Hierarchy
+from repro.workloads.micropayment import account_key, client_account_key
+
+__all__ = ["Workload", "WorkloadGenerator"]
+
+
+@dataclass
+class Workload:
+    """A generated set of transactions plus the clients that issue them."""
+
+    transactions: List[Transaction]
+    clients: Dict[ClientId, DomainId]
+    config: WorkloadConfig
+
+    @property
+    def num_transactions(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    def configure_application(self, application) -> None:
+        """Register every issuing device with the application (home domains)."""
+        register = getattr(application, "register_client", None)
+        if register is None:
+            return
+        for client, home in self.clients.items():
+            register(client, home)
+
+    def kind_counts(self) -> Dict[TransactionKind, int]:
+        counts: Dict[TransactionKind, int] = {}
+        for transaction in self.transactions:
+            counts[transaction.kind] = counts.get(transaction.kind, 0) + 1
+        return counts
+
+
+@dataclass
+class _ClientPlan:
+    """Per-client generation state (mobility excursions)."""
+
+    client: ClientId
+    local_domain: DomainId
+    is_mobile: bool = False
+    remote_domain: Optional[DomainId] = None
+    remaining_in_excursion: int = 0
+
+
+class WorkloadGenerator:
+    """Generates micropayment workloads over a given hierarchy."""
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        config: Optional[WorkloadConfig] = None,
+        num_clients: int = 8,
+    ) -> None:
+        if num_clients < 1:
+            raise WorkloadError("num_clients must be >= 1")
+        self._hierarchy = hierarchy
+        self._config = config or WorkloadConfig()
+        self._num_clients = num_clients
+        self._rng = random.Random(self._config.seed)
+        self._height1 = hierarchy.height1_domains()
+        self._leaves = hierarchy.leaf_domains()
+        if not self._height1 or not self._leaves:
+            raise WorkloadError("hierarchy has no height-1 or leaf domains")
+
+    # ------------------------------------------------------------------ clients
+
+    def _make_clients(self) -> List[_ClientPlan]:
+        plans: List[_ClientPlan] = []
+        per_leaf_counter: Dict[DomainId, int] = {}
+        num_mobile = round(self._config.mobile_ratio * self._num_clients)
+        for position in range(self._num_clients):
+            leaf = self._leaves[position % len(self._leaves)]
+            index = per_leaf_counter.get(leaf.id, 0) + 1
+            per_leaf_counter[leaf.id] = index
+            client = ClientId(home=leaf.id, index=index)
+            local = self._hierarchy.parent_height1_of_leaf(leaf.id).id
+            plans.append(
+                _ClientPlan(
+                    client=client,
+                    local_domain=local,
+                    is_mobile=position < num_mobile,
+                )
+            )
+        return plans
+
+    # ------------------------------------------------------------------ account selection
+
+    def _pick_account(self, domain: DomainId) -> str:
+        config = self._config
+        if self._rng.random() < config.contention_ratio:
+            index = self._rng.randrange(config.hot_accounts_per_domain)
+        else:
+            index = self._rng.randrange(
+                config.hot_accounts_per_domain, config.accounts_per_domain
+            )
+        return account_key(domain, index)
+
+    def _pick_two_accounts(self, domain: DomainId) -> Tuple[str, str]:
+        sender = self._pick_account(domain)
+        recipient = self._pick_account(domain)
+        attempts = 0
+        while recipient == sender and attempts < 8:
+            recipient = self._pick_account(domain)
+            attempts += 1
+        return sender, recipient
+
+    def _amount(self) -> float:
+        return float(self._rng.randint(1, 10))
+
+    # ------------------------------------------------------------------ transaction builders
+
+    def _internal_transaction(
+        self, number: int, plan: _ClientPlan
+    ) -> Transaction:
+        domain = plan.local_domain
+        sender, recipient = self._pick_two_accounts(domain)
+        return Transaction(
+            tid=TransactionId(number=number, origin=plan.client),
+            kind=TransactionKind.INTERNAL,
+            involved_domains=(domain,),
+            payload={
+                "op": "transfer",
+                "sender": sender,
+                "recipient": recipient,
+                "amount": self._amount(),
+            },
+            read_keys=(sender, recipient),
+            write_keys=(sender, recipient),
+            client=plan.client,
+        )
+
+    def _cross_domain_transaction(
+        self, number: int, plan: _ClientPlan
+    ) -> Transaction:
+        local = plan.local_domain
+        others = [d.id for d in self._height1 if d.id != local]
+        if not others:
+            return self._internal_transaction(number, plan)
+        extra = self._config.involved_domains - 1
+        chosen = self._rng.sample(others, k=min(extra, len(others)))
+        involved = (local, *chosen)
+        sender = self._pick_account(local)
+        recipient = self._pick_account(chosen[0])
+        return Transaction(
+            tid=TransactionId(number=number, origin=plan.client),
+            kind=TransactionKind.CROSS_DOMAIN,
+            involved_domains=involved,
+            payload={
+                "op": "transfer",
+                "sender": sender,
+                "recipient": recipient,
+                "amount": self._amount(),
+            },
+            read_keys=(sender, recipient),
+            write_keys=(sender, recipient),
+            client=plan.client,
+        )
+
+    def _mobile_transaction(self, number: int, plan: _ClientPlan) -> Transaction:
+        if plan.remaining_in_excursion <= 0 or plan.remote_domain is None:
+            candidates = [d.id for d in self._height1 if d.id != plan.local_domain]
+            plan.remote_domain = (
+                self._rng.choice(candidates) if candidates else plan.local_domain
+            )
+            plan.remaining_in_excursion = self._config.mobile_txns_per_excursion
+        plan.remaining_in_excursion -= 1
+        remote = plan.remote_domain
+        sender = client_account_key(plan.client)
+        recipient = self._pick_account(remote)
+        return Transaction(
+            tid=TransactionId(number=number, origin=plan.client),
+            kind=TransactionKind.MOBILE,
+            involved_domains=(remote,),
+            payload={
+                "op": "transfer",
+                "sender": sender,
+                "recipient": recipient,
+                "amount": min(self._amount(), 5.0),
+            },
+            read_keys=(sender, recipient),
+            write_keys=(sender, recipient),
+            client=plan.client,
+            home_domain=plan.local_domain,
+            remote_domain=remote,
+        )
+
+    # ------------------------------------------------------------------ generation
+
+    def generate(self) -> Workload:
+        """Produce the full workload described by the configuration."""
+        plans = self._make_clients()
+        transactions: List[Transaction] = []
+        for number in range(1, self._config.num_transactions + 1):
+            plan = plans[(number - 1) % len(plans)]
+            if plan.is_mobile:
+                transaction = self._mobile_transaction(number, plan)
+            elif self._rng.random() < self._config.cross_domain_ratio:
+                transaction = self._cross_domain_transaction(number, plan)
+            else:
+                transaction = self._internal_transaction(number, plan)
+            transactions.append(transaction)
+        clients = {plan.client: plan.local_domain for plan in plans}
+        return Workload(
+            transactions=transactions, clients=clients, config=self._config
+        )

@@ -1,0 +1,146 @@
+"""The accountable ridesharing / gig-economy application (§2).
+
+Drivers perform rides within a spatial domain; every ride updates the driver's
+working-hour and earnings records on that domain's blockchain state.  Only the
+working-hour attributes flow up the hierarchy (the abstraction function λ
+selects them), so higher-level domains can verify global regulations — e.g.
+the Fair Labor Standards Act's 40-hour weekly cap — without holding individual
+trip data.  Drivers are mobile: a driver registered in one domain may
+temporarily give rides in another, which exercises mobile consensus.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.common.types import ClientId, DomainId
+from repro.core.application import BaseApplication, ExecutionResult
+from repro.errors import WorkloadError
+from repro.ledger.abstraction import AbstractionFunction, SelectKeysAbstraction, SummarizedView
+from repro.ledger.state import StateStore
+from repro.ledger.transaction import Transaction
+from repro.topology.domain import Domain
+
+__all__ = ["RidesharingApplication", "driver_hours_key", "driver_earnings_key"]
+
+#: Weekly working-hour cap enforced globally (Fair Labor Standards Act).
+WEEKLY_HOUR_CAP = 40.0
+
+
+def driver_hours_key(driver: str) -> str:
+    return f"hours:{driver}"
+
+
+def driver_earnings_key(driver: str) -> str:
+    return f"earnings:{driver}"
+
+
+def rides_count_key(domain: DomainId) -> str:
+    return f"rides:{domain.name}"
+
+
+class RidesharingApplication(BaseApplication):
+    """Rides, working hours, and regulation checks over the hierarchy."""
+
+    name = "ridesharing"
+
+    def __init__(self, hour_cap: float = WEEKLY_HOUR_CAP) -> None:
+        if hour_cap <= 0:
+            raise WorkloadError("hour_cap must be positive")
+        self._hour_cap = hour_cap
+        self._client_homes: Dict[ClientId, DomainId] = {}
+
+    def register_client(self, client: ClientId, home_domain: DomainId) -> None:
+        """Register a driver (edge device) with its home domain."""
+        self._client_homes[client] = home_domain
+
+    def initialize_domain(self, domain: Domain, state: StateStore) -> None:
+        state.put(rides_count_key(domain.id), 0)
+        for client, home in self._client_homes.items():
+            if home == domain.id:
+                state.put(driver_hours_key(client.name), 0.0)
+                state.put(driver_earnings_key(client.name), 0.0)
+
+    # ------------------------------------------------------------------ execution
+
+    def execute(
+        self, transaction: Transaction, state: StateStore, domain: DomainId
+    ) -> ExecutionResult:
+        payload = transaction.payload
+        operation = payload.get("op", "ride")
+        if operation == "ride":
+            return self._execute_ride(payload, state, domain)
+        if operation == "register_driver":
+            driver = payload["driver"]
+            state.put(driver_hours_key(driver), 0.0)
+            state.put(driver_earnings_key(driver), 0.0)
+            return ExecutionResult(success=True, written_keys=(driver_hours_key(driver),))
+        return ExecutionResult(success=False, error=f"unknown op {operation!r}")
+
+    def _execute_ride(
+        self, payload: Mapping[str, Any], state: StateStore, domain: DomainId
+    ) -> ExecutionResult:
+        driver = payload["driver"]
+        hours = float(payload.get("hours", 0.5))
+        fare = float(payload.get("fare", 10.0))
+        if hours <= 0:
+            return ExecutionResult(success=False, error="ride duration must be positive")
+        hours_key = driver_hours_key(driver)
+        if hours_key not in state:
+            state.put(hours_key, 0.0)
+        worked = state.get(hours_key, 0.0)
+        if worked + hours > self._hour_cap:
+            return ExecutionResult(
+                success=False, error=f"driver {driver} would exceed {self._hour_cap}h"
+            )
+        state.increment(hours_key, hours)
+        earnings_key = driver_earnings_key(driver)
+        if earnings_key not in state:
+            state.put(earnings_key, 0.0)
+        state.increment(earnings_key, fare)
+        state.increment(rides_count_key(domain), 1)
+        return ExecutionResult(
+            success=True,
+            written_keys=(hours_key, earnings_key, rides_count_key(domain)),
+            result={"hours_total": worked + hours},
+        )
+
+    # ------------------------------------------------------------------ abstraction & mobility
+
+    def abstraction(self) -> AbstractionFunction:
+        """λ: forward only working hours and per-domain ride counts."""
+        return SelectKeysAbstraction(prefixes=("hours:", "rides:"))
+
+    def client_state(self, client: ClientId, state: StateStore) -> Dict[str, Any]:
+        keys = (driver_hours_key(client.name), driver_earnings_key(client.name))
+        return {key: state.get(key, 0.0) for key in keys}
+
+    def apply_client_state(
+        self, client: ClientId, incoming: Mapping[str, Any], state: StateStore
+    ) -> None:
+        for key, value in incoming.items():
+            state.put(key, value)
+
+    # ------------------------------------------------------------------ regulation queries
+
+    def total_hours_by_driver(self, summary: SummarizedView) -> Dict[str, float]:
+        """Aggregate working hours per driver from a summarized view."""
+        totals: Dict[str, float] = {}
+        for key, value in summary.aggregate_by_key("").items():
+            # Flattened keys look like "D13/hours:<driver>" at higher levels
+            # or plain "hours:<driver>" one level up.
+            marker = "hours:"
+            position = key.find(marker)
+            if position < 0 or not isinstance(value, (int, float)):
+                continue
+            driver = key[position + len(marker):]
+            totals[driver] = max(totals.get(driver, 0.0), float(value))
+        return totals
+
+    def drivers_over_cap(self, summary: SummarizedView) -> Dict[str, float]:
+        """Drivers whose aggregated hours exceed the weekly cap."""
+        return {
+            driver: hours
+            for driver, hours in self.total_hours_by_driver(summary).items()
+            if hours > self._hour_cap
+        }

@@ -1,0 +1,154 @@
+"""Shared fixtures and helpers for the Saguaro test suite."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.common.config import (
+    DeploymentConfig,
+    DomainSpec,
+    HierarchySpec,
+    RoundConfig,
+    TimerConfig,
+    WorkloadConfig,
+)
+from repro.common.types import (
+    ClientId,
+    CrossDomainProtocol,
+    DomainId,
+    FailureModel,
+    TransactionId,
+    TransactionKind,
+)
+from repro.core.system import SaguaroDeployment
+from repro.ledger.transaction import Transaction
+from repro.topology.builders import build_paper_figure1_tree, build_tree
+from repro.topology.regions import placement_for_profile
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.micropayment import MicropaymentApplication, account_key
+
+
+# ---------------------------------------------------------------------------
+# Identifiers and transactions
+# ---------------------------------------------------------------------------
+
+_TID_COUNTER = itertools.count(10_000)
+
+
+def make_tid(client: Optional[ClientId] = None) -> TransactionId:
+    return TransactionId(number=next(_TID_COUNTER), origin=client)
+
+
+def internal_transfer(
+    domain: DomainId,
+    sender_index: int = 0,
+    recipient_index: int = 1,
+    amount: float = 5.0,
+    client: Optional[ClientId] = None,
+) -> Transaction:
+    sender = account_key(domain, sender_index)
+    recipient = account_key(domain, recipient_index)
+    return Transaction(
+        tid=make_tid(client),
+        kind=TransactionKind.INTERNAL,
+        involved_domains=(domain,),
+        payload={"op": "transfer", "sender": sender, "recipient": recipient, "amount": amount},
+        read_keys=(sender, recipient),
+        write_keys=(sender, recipient),
+        client=client,
+    )
+
+
+def cross_transfer(
+    domains: Sequence[DomainId],
+    sender_index: int = 0,
+    recipient_index: int = 1,
+    amount: float = 5.0,
+    client: Optional[ClientId] = None,
+) -> Transaction:
+    sender = account_key(domains[0], sender_index)
+    recipient = account_key(domains[1], recipient_index)
+    return Transaction(
+        tid=make_tid(client),
+        kind=TransactionKind.CROSS_DOMAIN,
+        involved_domains=tuple(domains),
+        payload={"op": "transfer", "sender": sender, "recipient": recipient, "amount": amount},
+        read_keys=(sender, recipient),
+        write_keys=(sender, recipient),
+        client=client,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deployments
+# ---------------------------------------------------------------------------
+
+
+def quick_rounds() -> RoundConfig:
+    return RoundConfig(height1_interval_ms=10.0)
+
+
+def make_deployment(
+    protocol: CrossDomainProtocol = CrossDomainProtocol.COORDINATOR,
+    failure_model: FailureModel = FailureModel.CRASH,
+    latency_profile: str = "nearby-eu",
+    faults: int = 1,
+    clients: Optional[Dict[ClientId, DomainId]] = None,
+    seed: int = 11,
+) -> SaguaroDeployment:
+    """A paper-Figure-1 deployment with the micropayment application."""
+    spec = DomainSpec(failure_model=failure_model, faults=faults)
+    config = DeploymentConfig(
+        hierarchy=HierarchySpec(default_spec=spec),
+        protocol=protocol,
+        latency_profile=latency_profile,
+        rounds=quick_rounds(),
+        seed=seed,
+    )
+    hierarchy = build_tree(config.hierarchy)
+    placement_for_profile(hierarchy, latency_profile)
+    application = MicropaymentApplication(accounts_per_domain=32)
+    for client, home in (clients or {}).items():
+        application.register_client(client, home)
+    return SaguaroDeployment(config, application, hierarchy)
+
+
+def height1_ids(deployment: SaguaroDeployment) -> List[DomainId]:
+    return [d.id for d in deployment.hierarchy.height1_domains()]
+
+
+def run_until_done(deployment: SaguaroDeployment, extra_ms: float = 200.0) -> None:
+    """Run the simulator until quiet plus a fixed drain, then stop rounds."""
+    deployment.start()
+    deployment.simulator.run(until_ms=deployment.simulator.now + extra_ms)
+    deployment.stop_rounds()
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def figure1_hierarchy():
+    hierarchy = build_paper_figure1_tree()
+    placement_for_profile(hierarchy, "nearby-eu")
+    return hierarchy
+
+
+@pytest.fixture
+def coordinator_deployment() -> SaguaroDeployment:
+    return make_deployment(CrossDomainProtocol.COORDINATOR)
+
+
+@pytest.fixture
+def optimistic_deployment() -> SaguaroDeployment:
+    return make_deployment(CrossDomainProtocol.OPTIMISTIC)
+
+
+@pytest.fixture
+def byzantine_deployment() -> SaguaroDeployment:
+    return make_deployment(failure_model=FailureModel.BYZANTINE)

@@ -1,0 +1,141 @@
+"""Integration tests for the AHL and SharPer baseline systems."""
+
+import pytest
+
+from repro.baselines.deployment import AHL, SHARPER, BaselineDeployment
+from repro.common.config import DeploymentConfig, DomainSpec, HierarchySpec
+from repro.common.types import ClientId, DomainId, FailureModel
+from repro.errors import ConfigurationError
+from repro.workloads.micropayment import MicropaymentApplication
+from tests.conftest import cross_transfer, internal_transfer
+
+D01, D02 = DomainId(0, 1), DomainId(0, 2)
+D11, D12, D13 = DomainId(1, 1), DomainId(1, 2), DomainId(1, 3)
+
+
+def _client(leaf, index=1):
+    return ClientId(home=leaf, index=index)
+
+
+def _make(system, failure_model=FailureModel.CRASH, num_shards=4):
+    spec = DomainSpec(failure_model=failure_model, faults=1)
+    config = DeploymentConfig(
+        hierarchy=HierarchySpec(default_spec=spec),
+        latency_profile="nearby-eu",
+        seed=3,
+    )
+    application = MicropaymentApplication(accounts_per_domain=16)
+    return BaselineDeployment(
+        system=system,
+        config=config,
+        application=application,
+        num_shards=num_shards,
+        shard_spec=spec,
+    )
+
+
+class TestBaselineTopology:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BaselineDeployment(system="bitcoin")
+
+    def test_flat_topology_shape(self):
+        deployment = _make(AHL)
+        assert len(deployment.hierarchy.height1_domains()) == 4
+        assert deployment.reference_committee_domain.height == 2
+
+    def test_committee_is_lca_of_every_shard_pair(self):
+        deployment = _make(AHL)
+        committee = deployment.reference_committee_domain.id
+        assert (
+            deployment.hierarchy.lowest_common_ancestor([D11, D13]).id == committee
+        )
+
+
+@pytest.mark.parametrize("system", [AHL, SHARPER])
+class TestBaselineExecution:
+    def test_internal_transactions_commit(self, system):
+        deployment = _make(system)
+        transactions = [
+            internal_transfer(D11, sender_index=i, recipient_index=i + 1, client=_client(D01))
+            for i in range(5)
+        ]
+        summary = deployment.run_workload(transactions, drain_ms=200.0)
+        assert summary.committed == 5
+
+    def test_cross_shard_transaction_commits_on_both_shards(self, system):
+        deployment = _make(system)
+        tx = cross_transfer((D11, D12), client=_client(D01))
+        summary = deployment.run_workload([tx], drain_ms=300.0)
+        assert summary.committed == 1
+        for shard in (D11, D12):
+            assert tx.tid in deployment.ledger_of(shard)
+
+    def test_cross_shard_transfer_moves_funds(self, system):
+        deployment = _make(system)
+        tx = cross_transfer((D11, D12), sender_index=0, recipient_index=1, amount=40.0,
+                            client=_client(D01))
+        deployment.run_workload([tx], drain_ms=300.0)
+        assert deployment.state_of(D11).balance("acct:D11:0") == 1_000_000 - 40
+        assert deployment.state_of(D12).balance("acct:D12:1") == 1_000_000 + 40
+
+    def test_concurrent_cross_shard_transactions_commit(self, system):
+        deployment = _make(system)
+        clients = [_client(D01), _client(D02)]
+        transactions = [
+            cross_transfer(
+                (D11, D12) if i % 2 == 0 else (D12, D13),
+                sender_index=i % 3,
+                recipient_index=(i + 1) % 3,
+                client=clients[i % 2],
+            )
+            for i in range(12)
+        ]
+        summary = deployment.run_workload(transactions, drain_ms=600.0)
+        assert summary.committed == len(transactions)
+
+    def test_byzantine_shards_commit(self, system):
+        deployment = _make(system, failure_model=FailureModel.BYZANTINE)
+        tx = cross_transfer((D11, D12), client=_client(D01))
+        summary = deployment.run_workload([tx], drain_ms=400.0)
+        assert summary.committed == 1
+
+
+class TestAhlSpecifics:
+    def test_committee_coordinates_every_cross_shard_transaction(self):
+        from repro.baselines.ahl import AhlReferenceCommitteeProtocol
+
+        deployment = _make(AHL)
+        transactions = [
+            cross_transfer((D11, D12), client=_client(D01)),
+            cross_transfer((D12, D13), client=_client(D02)),
+        ]
+        deployment.run_workload(transactions, drain_ms=400.0)
+        committee_primary = deployment.primary_node_of(
+            deployment.reference_committee_domain.id
+        )
+        component = next(
+            c
+            for c in committee_primary.components
+            if isinstance(c, AhlReferenceCommitteeProtocol)
+        )
+        assert component.is_reference_committee_member
+        coordinated = set(component.coordinated_transactions())
+        assert {t.tid for t in transactions} <= coordinated
+
+
+class TestSharperSpecifics:
+    def test_no_traffic_through_the_committee_domain(self):
+        deployment = _make(SHARPER)
+        tx = cross_transfer((D11, D12), client=_client(D01))
+        deployment.run_workload([tx], drain_ms=300.0)
+        root_nodes = deployment.nodes_of(deployment.hierarchy.root.id)
+        assert all(node.cpu.jobs_executed == 0 for node in root_nodes)
+
+    def test_replicas_of_both_shards_hold_the_transaction(self):
+        deployment = _make(SHARPER)
+        tx = cross_transfer((D11, D12), client=_client(D01))
+        deployment.run_workload([tx], drain_ms=300.0)
+        for shard in (D11, D12):
+            for node in deployment.nodes_of(shard):
+                assert tx.tid in node.ledger

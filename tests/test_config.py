@@ -1,0 +1,105 @@
+"""Unit tests for configuration dataclasses."""
+
+import pytest
+
+from repro.common.config import (
+    DEFAULT_BYZANTINE_COSTS,
+    DEFAULT_CRASH_COSTS,
+    DeploymentConfig,
+    DomainSpec,
+    HierarchySpec,
+    NodeCostModel,
+    RoundConfig,
+    TimerConfig,
+    WorkloadConfig,
+)
+from repro.common.types import FailureModel
+from repro.errors import ConfigurationError
+
+
+class TestNodeCostModel:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeCostModel(base_handling_ms=-1.0)
+
+    def test_certificate_cost_scales_with_signatures(self):
+        model = NodeCostModel(verify_ms=0.5)
+        assert model.certificate_verify_ms(3) == pytest.approx(1.5)
+
+    def test_certificate_cost_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            NodeCostModel().certificate_verify_ms(-1)
+
+    def test_byzantine_defaults_cost_more_than_crash(self):
+        assert DEFAULT_BYZANTINE_COSTS.verify_ms > DEFAULT_CRASH_COSTS.verify_ms
+        assert DEFAULT_BYZANTINE_COSTS.sign_ms > DEFAULT_CRASH_COSTS.sign_ms
+
+
+class TestTimerAndRoundConfig:
+    def test_timers_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            TimerConfig(request_timeout_ms=0)
+
+    def test_round_interval_grows_with_height(self):
+        rounds = RoundConfig(height1_interval_ms=50.0, interval_growth=2.0)
+        assert rounds.interval_for_height(1) == 50.0
+        assert rounds.interval_for_height(2) == 100.0
+        assert rounds.interval_for_height(3) == 200.0
+
+    def test_round_interval_rejects_height_zero(self):
+        with pytest.raises(ConfigurationError):
+            RoundConfig().interval_for_height(0)
+
+    def test_interval_growth_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoundConfig(interval_growth=0.5)
+
+
+class TestDomainAndHierarchySpec:
+    def test_domain_spec_node_count(self):
+        assert DomainSpec(failure_model=FailureModel.CRASH, faults=2).num_nodes == 5
+        assert DomainSpec(failure_model=FailureModel.BYZANTINE, faults=2).num_nodes == 7
+
+    def test_negative_faults_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DomainSpec(faults=-1)
+
+    def test_hierarchy_spec_height1_count(self):
+        assert HierarchySpec(levels=4, branching=2).num_height1_domains == 4
+        assert HierarchySpec(levels=3, branching=3).num_height1_domains == 3
+
+    def test_hierarchy_spec_per_domain_override(self):
+        override = DomainSpec(failure_model=FailureModel.BYZANTINE)
+        spec = HierarchySpec(per_domain={"D21": override})
+        assert spec.spec_for("D21") is override
+        assert spec.spec_for("D11").failure_model is FailureModel.CRASH
+
+    def test_hierarchy_needs_two_levels(self):
+        with pytest.raises(ConfigurationError):
+            HierarchySpec(levels=1)
+
+    def test_deployment_config_costs_for(self):
+        config = DeploymentConfig()
+        assert config.costs_for(FailureModel.CRASH) is config.crash_costs
+        assert config.costs_for(FailureModel.BYZANTINE) is config.byzantine_costs
+
+
+class TestWorkloadConfig:
+    def test_ratios_must_be_fractions(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(cross_domain_ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(contention_ratio=-0.1)
+
+    def test_hot_set_must_fit_in_accounts(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(accounts_per_domain=2, hot_accounts_per_domain=4)
+
+    def test_cross_domain_needs_at_least_two_domains(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(involved_domains=1)
+
+    def test_defaults_are_valid(self):
+        config = WorkloadConfig()
+        assert config.num_transactions > 0
+        assert 0 <= config.cross_domain_ratio <= 1

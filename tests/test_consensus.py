@@ -1,0 +1,190 @@
+"""Tests for the Paxos and PBFT engines using an in-memory message bus."""
+
+from typing import Any, Dict, List, Tuple
+
+import pytest
+
+from repro.common.types import DomainId, FailureModel
+from repro.consensus import PaxosEngine, PbftEngine, engine_for
+from repro.errors import NotPrimaryError
+from repro.topology.domain import Domain
+
+
+class _Bus:
+    """Synchronous message bus connecting the engines of one domain."""
+
+    def __init__(self) -> None:
+        self.queue: List[Tuple[str, str, Any]] = []  # (sender, recipient, message)
+        self.hosts: Dict[str, "_FakeHost"] = {}
+        self.dropped: set = set()
+
+    def register(self, host: "_FakeHost") -> None:
+        self.hosts[host.address] = host
+
+    def deliver_all(self, max_rounds: int = 200) -> None:
+        rounds = 0
+        while self.queue and rounds < max_rounds:
+            sender, recipient, message = self.queue.pop(0)
+            rounds += 1
+            if recipient in self.dropped or sender in self.dropped:
+                continue
+            host = self.hosts[recipient]
+            host.engine.handle_message(message, sender)
+
+
+class _FakeHost:
+    """Implements the ConsensusHost protocol over the in-memory bus."""
+
+    def __init__(self, domain: Domain, index: int, bus: _Bus) -> None:
+        self._domain = domain
+        self._address = domain.node_ids[index].name
+        self._bus = bus
+        self.decisions: List[Tuple[int, Any]] = []
+        bus.register(self)
+        self.engine = engine_for(self)
+
+    @property
+    def address(self) -> str:
+        return self._address
+
+    @property
+    def hosted_domain(self) -> Domain:
+        return self._domain
+
+    def domain_peer_addresses(self) -> List[str]:
+        return [n.name for n in self._domain.node_ids if n.name != self._address]
+
+    def send_protocol_message(self, to_address: str, message: Any) -> None:
+        self._bus.queue.append((self._address, to_address, message))
+
+    def now(self) -> float:
+        return 0.0
+
+    def set_timer(self, delay_ms, callback):  # pragma: no cover - unused in tests
+        return None
+
+    def consensus_decided(self, slot: int, payload: Any) -> None:
+        self.decisions.append((slot, payload))
+
+
+def _make_domain(model: FailureModel, faults: int = 1) -> Domain:
+    return Domain(id=DomainId(1, 1), failure_model=model, faults=faults)
+
+
+def _build(model: FailureModel, faults: int = 1):
+    bus = _Bus()
+    domain = _make_domain(model, faults)
+    hosts = [_FakeHost(domain, i, bus) for i in range(len(domain.node_ids))]
+    return bus, hosts
+
+
+@pytest.mark.parametrize("model", [FailureModel.CRASH, FailureModel.BYZANTINE])
+class TestNormalCase:
+    def test_single_proposal_decided_everywhere(self, model):
+        bus, hosts = _build(model)
+        primary = hosts[0]
+        assert primary.engine.is_primary
+        primary.engine.propose("value-1")
+        bus.deliver_all()
+        for host in hosts:
+            assert host.decisions == [(1, "value-1")]
+
+    def test_engine_matches_failure_model(self, model):
+        _bus, hosts = _build(model)
+        expected = PaxosEngine if model is FailureModel.CRASH else PbftEngine
+        assert isinstance(hosts[0].engine, expected)
+
+    def test_multiple_proposals_decided_in_slot_order(self, model):
+        bus, hosts = _build(model)
+        primary = hosts[0]
+        for value in ("a", "b", "c"):
+            primary.engine.propose(value)
+        bus.deliver_all()
+        for host in hosts:
+            assert [payload for _, payload in host.decisions] == ["a", "b", "c"]
+            assert [slot for slot, _ in host.decisions] == [1, 2, 3]
+
+    def test_replica_cannot_propose(self, model):
+        _bus, hosts = _build(model)
+        with pytest.raises(NotPrimaryError):
+            hosts[1].engine.propose("nope")
+
+    def test_decision_requires_quorum(self, model):
+        bus, hosts = _build(model)
+        # Drop every replica: the primary alone can never reach quorum.
+        for host in hosts[1:]:
+            bus.dropped.add(host.address)
+        hosts[0].engine.propose("stuck")
+        bus.deliver_all()
+        assert hosts[0].decisions == []
+
+    def test_decision_survives_f_silent_replicas(self, model):
+        bus, hosts = _build(model)
+        bus.dropped.add(hosts[-1].address)  # f = 1 silent replica
+        hosts[0].engine.propose("resilient")
+        bus.deliver_all()
+        live = [h for h in hosts if h.address not in bus.dropped]
+        for host in live:
+            assert host.decisions == [(1, "resilient")]
+
+    def test_larger_domains_reach_agreement(self, model):
+        bus, hosts = _build(model, faults=2)
+        hosts[0].engine.propose("big-domain")
+        bus.deliver_all()
+        for host in hosts:
+            assert host.decisions == [(1, "big-domain")]
+
+
+@pytest.mark.parametrize("model", [FailureModel.CRASH, FailureModel.BYZANTINE])
+class TestViewChange:
+    def test_view_change_elects_next_primary(self, model):
+        bus, hosts = _build(model)
+        bus.dropped.add(hosts[0].address)  # primary crashes
+        for host in hosts[1:]:
+            host.engine.suspect_primary()
+        bus.deliver_all()
+        new_primary = hosts[1]
+        assert new_primary.engine.view == 1
+        assert new_primary.engine.is_primary
+
+    def test_pending_proposal_reproposed_after_view_change(self, model):
+        bus, hosts = _build(model)
+        hosts[0].engine.propose("orphan")
+        # Deliver the first protocol message to replicas, then crash the primary
+        # before the decision completes.
+        partial = list(bus.queue)
+        bus.queue.clear()
+        for sender, recipient, message in partial:
+            bus.hosts[recipient].engine.handle_message(message, sender)
+        bus.queue.clear()
+        bus.dropped.add(hosts[0].address)
+        for host in hosts[1:]:
+            host.engine.suspect_primary()
+        bus.deliver_all()
+        survivors = hosts[1:]
+        for host in survivors:
+            payloads = [payload for _, payload in host.decisions]
+            assert payloads == ["orphan"]
+
+    def test_new_proposals_work_after_view_change(self, model):
+        bus, hosts = _build(model)
+        bus.dropped.add(hosts[0].address)
+        for host in hosts[1:]:
+            host.engine.suspect_primary()
+        bus.deliver_all()
+        new_primary = hosts[1]
+        new_primary.engine.propose("post-view-change")
+        bus.deliver_all()
+        for host in hosts[1:]:
+            assert ("post-view-change" in [p for _, p in host.decisions])
+
+    def test_stale_view_change_ignored(self, model):
+        bus, hosts = _build(model)
+        hosts[0].engine.propose("x")
+        bus.deliver_all()
+        view_before = hosts[0].engine.view
+        # A single suspicious replica is not enough to change the view.
+        hosts[2].engine.suspect_primary()
+        bus.deliver_all()
+        assert hosts[0].engine.view == view_before
+        assert hosts[0].engine.is_primary

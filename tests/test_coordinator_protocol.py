@@ -1,0 +1,151 @@
+"""Integration tests for the coordinator-based cross-domain protocol (§4)."""
+
+import pytest
+
+from repro.common.types import ClientId, DomainId, FailureModel, TransactionStatus
+from repro.core.coordinator import CoordinatorCrossDomainProtocol
+from tests.conftest import cross_transfer, internal_transfer, make_deployment
+
+D01, D02, D03, D04 = (DomainId(0, i) for i in range(1, 5))
+D11, D12, D13, D14 = (DomainId(1, i) for i in range(1, 5))
+D21, D22 = DomainId(2, 1), DomainId(2, 2)
+
+
+def _client(leaf: DomainId, index: int = 1) -> ClientId:
+    return ClientId(home=leaf, index=index)
+
+
+def _coordinator_component(deployment, domain_id):
+    node = deployment.primary_node_of(domain_id)
+    for component in node.components:
+        if isinstance(component, CoordinatorCrossDomainProtocol):
+            return component
+    raise AssertionError("coordinator component missing")
+
+
+class TestSingleCrossDomainTransaction:
+    def test_committed_on_every_involved_domain(self, coordinator_deployment):
+        tx = cross_transfer((D11, D12), client=_client(D01))
+        summary = coordinator_deployment.run_workload([tx], drain_ms=300.0)
+        assert summary.committed == 1
+        for domain in (D11, D12):
+            for node in coordinator_deployment.nodes_of(domain):
+                assert tx.tid in node.ledger
+                assert (
+                    node.ledger.entry_of(tx.tid).status is TransactionStatus.COMMITTED
+                )
+
+    def test_not_committed_on_uninvolved_domains(self, coordinator_deployment):
+        tx = cross_transfer((D11, D12), client=_client(D01))
+        coordinator_deployment.run_workload([tx], drain_ms=300.0)
+        for domain in (D13, D14):
+            assert tx.tid not in coordinator_deployment.ledger_of(domain)
+
+    def test_lca_domain_acts_as_coordinator(self, coordinator_deployment):
+        tx = cross_transfer((D11, D12), client=_client(D01))
+        coordinator_deployment.run_workload([tx], drain_ms=300.0)
+        assert tx.tid in _coordinator_component(
+            coordinator_deployment, D21
+        ).coordinated_transactions()
+        assert tx.tid not in _coordinator_component(
+            coordinator_deployment, coordinator_deployment.hierarchy.root.id
+        ).coordinated_transactions()
+
+    def test_far_domains_are_coordinated_by_the_root(self, coordinator_deployment):
+        tx = cross_transfer((D11, D13), client=_client(D01))
+        coordinator_deployment.run_workload([tx], drain_ms=300.0)
+        assert tx.tid in _coordinator_component(
+            coordinator_deployment, coordinator_deployment.hierarchy.root.id
+        ).coordinated_transactions()
+
+    def test_transfer_effects_split_across_domains(self, coordinator_deployment):
+        tx = cross_transfer((D11, D12), sender_index=0, recipient_index=1, amount=25.0,
+                            client=_client(D01))
+        coordinator_deployment.run_workload([tx], drain_ms=300.0)
+        assert coordinator_deployment.state_of(D11).balance("acct:D11:0") == 1_000_000 - 25
+        assert coordinator_deployment.state_of(D12).balance("acct:D12:1") == 1_000_000 + 25
+
+    def test_three_domain_transaction_commits(self, coordinator_deployment):
+        tx = cross_transfer((D11, D12, D13), client=_client(D01))
+        summary = coordinator_deployment.run_workload([tx], drain_ms=400.0)
+        assert summary.committed == 1
+        for domain in (D11, D12, D13):
+            assert tx.tid in coordinator_deployment.ledger_of(domain)
+
+    def test_multipart_sequence_number_recorded_in_parent_dag(self, coordinator_deployment):
+        tx = cross_transfer((D11, D12), client=_client(D01))
+        coordinator_deployment.run_workload([tx], drain_ms=400.0)
+        dag = coordinator_deployment.primary_node_of(D21).dag
+        vertex = dag.vertex(tx.tid)
+        assert vertex.fully_reported
+        assert vertex.entry.position_in(D11) is not None
+        assert vertex.entry.position_in(D12) is not None
+
+    def test_byzantine_cross_domain_commit(self):
+        deployment = make_deployment(failure_model=FailureModel.BYZANTINE)
+        tx = cross_transfer((D11, D12), client=_client(D01))
+        summary = deployment.run_workload([tx], drain_ms=400.0)
+        assert summary.committed == 1
+
+
+class TestConcurrentCrossDomainTransactions:
+    def _mixed_workload(self):
+        transactions = []
+        clients = [_client(D01), _client(D02), _client(D03), _client(D04)]
+        pairs = [(D11, D12), (D12, D11), (D13, D14), (D11, D13), (D12, D14)]
+        for i in range(30):
+            pair = pairs[i % len(pairs)]
+            transactions.append(
+                cross_transfer(
+                    pair,
+                    sender_index=i % 4,
+                    recipient_index=(i + 1) % 4,
+                    client=clients[i % len(clients)],
+                )
+            )
+        for i in range(10):
+            transactions.append(
+                internal_transfer(D11, sender_index=i, recipient_index=i + 1,
+                                  client=clients[0])
+            )
+        return transactions
+
+    def test_everything_commits_under_concurrency(self, coordinator_deployment):
+        transactions = self._mixed_workload()
+        summary = coordinator_deployment.run_workload(transactions, drain_ms=500.0)
+        assert summary.committed == len(transactions)
+        assert summary.aborted == 0
+
+    def test_overlapping_domains_agree_on_relative_order(self, coordinator_deployment):
+        """Lemma 4.3: conflicting transactions commit in the same order everywhere."""
+        transactions = self._mixed_workload()
+        coordinator_deployment.run_workload(transactions, drain_ms=500.0)
+        cross = [t for t in transactions if len(t.involved_domains) > 1]
+        for i, first in enumerate(cross):
+            for second in cross[i + 1 :]:
+                shared = set(first.involved_domains) & set(second.involved_domains)
+                if len(shared) < 2:
+                    continue
+                orders = set()
+                for domain in shared:
+                    ledger = coordinator_deployment.ledger_of(domain)
+                    orders.add(ledger.relative_order(first.tid, second.tid))
+                assert len(orders) == 1, (first.tid, second.tid, orders)
+
+    def test_replica_ledgers_match_primary_under_concurrency(self, coordinator_deployment):
+        transactions = self._mixed_workload()
+        coordinator_deployment.run_workload(transactions, drain_ms=500.0)
+        for domain in (D11, D12, D13, D14):
+            orders = [
+                node.ledger.committed_order()
+                for node in coordinator_deployment.nodes_of(domain)
+            ]
+            assert all(order == orders[0] for order in orders)
+
+    def test_cross_domain_transactions_counted_once(self, coordinator_deployment):
+        transactions = self._mixed_workload()
+        coordinator_deployment.run_workload(transactions, drain_ms=500.0)
+        assert (
+            coordinator_deployment.total_committed_transactions()
+            == len(transactions)
+        )

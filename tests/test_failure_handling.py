@@ -1,0 +1,118 @@
+"""Failure-handling integration tests: crashed primaries and lost messages (§4.2)."""
+
+import pytest
+
+from repro.common.types import ClientId, DomainId
+from tests.conftest import internal_transfer, make_deployment
+
+D01, D11, D12 = DomainId(0, 1), DomainId(1, 1), DomainId(1, 2)
+
+
+class TestPrimaryFailure:
+    def test_internal_transaction_survives_a_crashed_primary(self):
+        """Client retransmission + view change eventually commit the request."""
+        deployment = make_deployment()
+        client_id = ClientId(home=D01, index=1)
+        tx = internal_transfer(D11, client=client_id)
+
+        old_primary = deployment.primary_node_of(D11)
+        old_primary.crash()
+
+        deployment.start()
+        clients = deployment.create_clients([tx], think_time_ms=0.0)
+        for client in clients:
+            client.start()
+        # Give the client time to: time out, multicast to all replicas, have the
+        # replicas suspect the primary, elect a new one, and retransmit again.
+        deployment.simulator.run(
+            until_ms=30_000.0, stop_when=lambda: clients[0].done
+        )
+        # Let in-flight learn/commit messages drain before inspecting replicas.
+        deployment.simulator.run(until_ms=deployment.simulator.now + 500.0)
+        deployment.stop_rounds()
+
+        assert clients[0].done
+        replicas = [n for n in deployment.nodes_of(D11) if n is not old_primary]
+        assert any(tx.tid in replica.ledger for replica in replicas)
+        for replica in replicas:
+            assert replica.engine.view >= 1  # the faulty primary was replaced
+        # A replica took over as primary in a later view.
+        assert any(replica.is_primary for replica in replicas)
+        assert old_primary.crashed
+
+    def test_crashed_replica_does_not_block_commitment(self):
+        deployment = make_deployment()
+        client_id = ClientId(home=D01, index=1)
+        transactions = [
+            internal_transfer(D11, sender_index=i, recipient_index=i + 1, client=client_id)
+            for i in range(4)
+        ]
+        # Crash one replica (f = 1 is tolerated by a 3-node crash domain).
+        deployment.nodes_of(D11)[2].crash()
+        summary = deployment.run_workload(transactions, drain_ms=300.0)
+        assert summary.committed == len(transactions)
+
+    def test_view_change_keeps_exactly_one_primary_per_domain(self):
+        deployment = make_deployment()
+        deployment.primary_node_of(D11).crash()
+        client_id = ClientId(home=D01, index=1)
+        tx = internal_transfer(D11, client=client_id)
+        deployment.start()
+        clients = deployment.create_clients([tx], think_time_ms=0.0)
+        for client in clients:
+            client.start()
+        deployment.simulator.run(until_ms=30_000.0, stop_when=lambda: clients[0].done)
+        deployment.stop_rounds()
+        live_primaries = [
+            node
+            for node in deployment.nodes_of(D11)
+            if not node.crashed and node.is_primary
+        ]
+        assert len(live_primaries) == 1
+
+
+class TestMessageLoss:
+    def test_cross_domain_commit_query_recovers_a_lost_commit(self):
+        """A participant that misses the commit asks the coordinator (§4.2)."""
+        deployment = make_deployment()
+        client_id = ClientId(home=D01, index=1)
+        tx = cross = internal_transfer(D11, client=client_id)
+        # Use a cross-domain transaction so a commit message exists to lose.
+        from tests.conftest import cross_transfer
+
+        cross = cross_transfer((D11, D12), client=client_id)
+        coordinator_primary = deployment.primary_node_of(DomainId(2, 1))
+        d12_nodes = deployment.nodes_of(D12)
+        # Drop the direct links coordinator-primary -> D12 nodes so the first
+        # commit multicast is lost for that domain.
+        for node in d12_nodes:
+            deployment.network.partition(coordinator_primary.address, node.address)
+
+        deployment.start()
+        clients = deployment.create_clients([cross], think_time_ms=0.0)
+        for client in clients:
+            client.start()
+        deployment.simulator.run(until_ms=300.0)
+        # Heal; the pending commit-query timer at D12 re-fetches the decision.
+        for node in d12_nodes:
+            deployment.network.heal(coordinator_primary.address, node.address)
+        deployment.simulator.run(until_ms=10_000.0, stop_when=lambda: clients[0].done)
+        # Drain so the re-sent commit reaches every D12 replica before we check.
+        deployment.simulator.run(until_ms=deployment.simulator.now + 500.0)
+        deployment.stop_rounds()
+        assert cross.tid in deployment.ledger_of(D12)
+        assert cross.tid in deployment.ledger_of(D11)
+
+    def test_lossy_network_still_commits_internal_transactions(self):
+        """Retransmissions mask a small uniform message-loss rate."""
+        deployment = make_deployment(seed=23)
+        deployment.network._drop_rate = 0.02
+        client_id = ClientId(home=D01, index=1)
+        transactions = [
+            internal_transfer(D11, sender_index=i, recipient_index=i + 1, client=client_id)
+            for i in range(5)
+        ]
+        summary = deployment.run_workload(
+            transactions, max_simulated_ms=60_000.0, drain_ms=300.0
+        )
+        assert summary.committed == len(transactions)

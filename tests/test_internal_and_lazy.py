@@ -1,0 +1,123 @@
+"""Integration tests: internal transactions and lazy propagation (§4, §5)."""
+
+import pytest
+
+from repro.common.types import ClientId, DomainId, TransactionStatus
+from tests.conftest import (
+    height1_ids,
+    internal_transfer,
+    make_deployment,
+)
+
+D01 = DomainId(0, 1)
+D11 = DomainId(1, 1)
+
+
+def _run_internal_workload(deployment, per_domain=6):
+    """Issue ``per_domain`` internal transfers in every height-1 domain."""
+    transactions = []
+    for leaf in deployment.hierarchy.leaf_domains():
+        client = ClientId(home=leaf.id, index=1)
+        domain = deployment.hierarchy.parent_height1_of_leaf(leaf.id).id
+        for i in range(per_domain):
+            transactions.append(
+                internal_transfer(domain, sender_index=i, recipient_index=i + 1, client=client)
+            )
+    summary = deployment.run_workload(transactions, drain_ms=400.0)
+    return transactions, summary
+
+
+class TestInternalTransactions:
+    def test_all_internal_transactions_commit(self, coordinator_deployment):
+        transactions, summary = _run_internal_workload(coordinator_deployment)
+        assert summary.committed == len(transactions)
+        assert summary.aborted == 0
+
+    def test_every_replica_has_the_same_ledger(self, coordinator_deployment):
+        _run_internal_workload(coordinator_deployment)
+        for domain in coordinator_deployment.hierarchy.height1_domains():
+            ledgers = [
+                node.ledger.committed_order()
+                for node in coordinator_deployment.nodes_of(domain.id)
+            ]
+            assert all(order == ledgers[0] for order in ledgers)
+            assert len(ledgers[0]) == 6
+
+    def test_ledgers_verify_their_hash_chains(self, coordinator_deployment):
+        _run_internal_workload(coordinator_deployment)
+        for domain in coordinator_deployment.hierarchy.height1_domains():
+            for node in coordinator_deployment.nodes_of(domain.id):
+                assert node.ledger.verify_integrity()
+
+    def test_transfers_applied_to_state(self, coordinator_deployment):
+        transactions, _ = _run_internal_workload(coordinator_deployment)
+        state = coordinator_deployment.state_of(D11)
+        # Money is conserved within the domain.
+        total = sum(
+            state.balance(f"acct:D11:{i}") for i in range(32)
+        )
+        assert total == pytest.approx(32 * 1_000_000.0)
+
+    def test_replicas_state_matches_primary(self, coordinator_deployment):
+        _run_internal_workload(coordinator_deployment)
+        for domain in coordinator_deployment.hierarchy.height1_domains():
+            nodes = coordinator_deployment.nodes_of(domain.id)
+            snapshots = [node.state.snapshot() for node in nodes]
+            assert all(snapshot == snapshots[0] for snapshot in snapshots)
+
+    def test_byzantine_domains_also_commit(self, byzantine_deployment):
+        transactions, summary = _run_internal_workload(byzantine_deployment, per_domain=3)
+        assert summary.committed == len(transactions)
+
+    def test_latency_is_recorded_for_each_commit(self, coordinator_deployment):
+        _, summary = _run_internal_workload(coordinator_deployment)
+        assert summary.avg_latency_ms > 0
+        assert summary.p95_latency_ms >= summary.p50_latency_ms
+
+
+class TestLazyPropagation:
+    def test_block_messages_reach_parents_and_root(self, coordinator_deployment):
+        transactions, _ = _run_internal_workload(coordinator_deployment)
+        root = coordinator_deployment.primary_node_of(
+            coordinator_deployment.hierarchy.root.id
+        )
+        assert len(root.dag) == len(transactions)
+
+    def test_height2_dags_only_hold_their_subtrees(self, coordinator_deployment):
+        _run_internal_workload(coordinator_deployment)
+        d21 = coordinator_deployment.primary_node_of(DomainId(2, 1)).dag
+        for vertex in d21.transactions():
+            domains = set(vertex.entry.transaction.involved_domains)
+            assert domains <= {DomainId(1, 1), DomainId(1, 2)}
+
+    def test_dag_replicas_agree(self, coordinator_deployment):
+        _run_internal_workload(coordinator_deployment)
+        for domain in coordinator_deployment.hierarchy.domains_at_height(2):
+            dags = [
+                sorted(v.tid.number for v in node.dag.transactions())
+                for node in coordinator_deployment.nodes_of(domain.id)
+            ]
+            assert all(d == dags[0] for d in dags)
+
+    def test_root_summary_aggregates_exchanged_volume(self, coordinator_deployment):
+        transactions, _ = _run_internal_workload(coordinator_deployment)
+        expected_volume = sum(t.payload["amount"] for t in transactions)
+        total = coordinator_deployment.root_summary().aggregate_sum("volume:")
+        assert total == pytest.approx(expected_volume)
+
+    def test_rounds_are_emitted_even_when_idle(self):
+        deployment = make_deployment()
+        deployment.start()
+        deployment.simulator.run(until_ms=100.0)
+        deployment.stop_rounds()
+        d21 = deployment.primary_node_of(DomainId(2, 1))
+        # Empty block messages still arrive so the parent sees round completion.
+        assert d21.dag.rounds_received_from(DomainId(1, 1)) >= 3
+
+    def test_commit_statuses_in_parent_dag(self, coordinator_deployment):
+        _run_internal_workload(coordinator_deployment)
+        root_dag = coordinator_deployment.primary_node_of(
+            coordinator_deployment.hierarchy.root.id
+        ).dag
+        statuses = {v.entry.status for v in root_dag.transactions()}
+        assert statuses == {TransactionStatus.COMMITTED}

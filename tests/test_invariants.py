@@ -1,0 +1,104 @@
+"""System-wide invariants checked over randomly generated workloads."""
+
+import pytest
+
+from repro.common.config import WorkloadConfig
+from repro.common.types import CrossDomainProtocol, TransactionStatus
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.micropayment import MicropaymentApplication
+from tests.conftest import make_deployment
+
+
+def _run_generated_workload(protocol, seed, cross_ratio=0.4, contention=0.3, n=60):
+    deployment = make_deployment(protocol, seed=seed)
+    config = WorkloadConfig(
+        num_transactions=n,
+        cross_domain_ratio=cross_ratio,
+        contention_ratio=contention,
+        accounts_per_domain=32,
+        hot_accounts_per_domain=4,
+        seed=seed,
+    )
+    workload = WorkloadGenerator(deployment.hierarchy, config, num_clients=6).generate()
+    summary = deployment.run_workload(workload.transactions, drain_ms=600.0)
+    return deployment, workload, summary
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+class TestCoordinatorInvariants:
+    def test_money_is_conserved_across_the_whole_network(self, seed):
+        deployment, _, _ = _run_generated_workload(CrossDomainProtocol.COORDINATOR, seed)
+        total = sum(
+            deployment.state_of(domain.id).totals("acct:")
+            for domain in deployment.hierarchy.height1_domains()
+        )
+        expected = 4 * 32 * 1_000_000.0  # four domains, 32 accounts each
+        assert total == pytest.approx(expected)
+
+    def test_every_issued_transaction_reaches_a_final_state(self, seed):
+        _, workload, summary = _run_generated_workload(
+            CrossDomainProtocol.COORDINATOR, seed
+        )
+        assert summary.committed + summary.aborted == len(workload.transactions)
+        assert summary.pending == 0
+
+    def test_cross_domain_entries_match_on_all_involved_ledgers(self, seed):
+        deployment, workload, _ = _run_generated_workload(
+            CrossDomainProtocol.COORDINATOR, seed
+        )
+        for tx in workload.transactions:
+            if len(tx.involved_domains) < 2:
+                continue
+            presence = [
+                tx.tid in deployment.ledger_of(domain) for domain in tx.involved_domains
+            ]
+            assert all(presence) or not any(presence)
+
+    def test_ledgers_and_hash_chains_verify_everywhere(self, seed):
+        deployment, _, _ = _run_generated_workload(CrossDomainProtocol.COORDINATOR, seed)
+        for domain in deployment.hierarchy.height1_domains():
+            for node in deployment.nodes_of(domain.id):
+                assert node.ledger.verify_integrity()
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+class TestOptimisticInvariants:
+    def test_surviving_transactions_are_consistently_ordered(self, seed):
+        deployment, workload, _ = _run_generated_workload(
+            CrossDomainProtocol.OPTIMISTIC, seed, cross_ratio=0.6, contention=0.5
+        )
+        survivors = [
+            t
+            for t in workload.transactions
+            if len(t.involved_domains) > 1
+            and deployment.metrics.record(t.tid).is_committed
+        ]
+        for i, first in enumerate(survivors):
+            for second in survivors[i + 1 :]:
+                shared = set(first.involved_domains) & set(second.involved_domains)
+                if len(shared) < 2:
+                    continue
+                orders = {
+                    deployment.ledger_of(d).relative_order(first.tid, second.tid)
+                    for d in shared
+                }
+                assert len(orders) == 1
+
+    def test_aborted_transactions_never_stay_optimistically_committed(self, seed):
+        deployment, workload, _ = _run_generated_workload(
+            CrossDomainProtocol.OPTIMISTIC, seed, cross_ratio=0.6, contention=0.5
+        )
+        for tx in workload.transactions:
+            record = deployment.metrics.record(tx.tid)
+            if not record.is_aborted:
+                continue
+            for domain in tx.involved_domains:
+                ledger = deployment.ledger_of(domain)
+                if tx.tid in ledger:
+                    assert ledger.entry_of(tx.tid).status is TransactionStatus.ABORTED
+
+    def test_every_transaction_reaches_a_final_state(self, seed):
+        _, workload, summary = _run_generated_workload(
+            CrossDomainProtocol.OPTIMISTIC, seed, cross_ratio=0.6, contention=0.5
+        )
+        assert summary.committed + summary.aborted == len(workload.transactions)

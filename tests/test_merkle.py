@@ -1,0 +1,63 @@
+"""Unit and property tests for Merkle trees."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.merkle import EMPTY_ROOT, MerkleTree
+from repro.errors import CryptoError
+
+
+class TestMerkleTree:
+    def test_empty_tree_has_sentinel_root(self):
+        assert MerkleTree([]).root == EMPTY_ROOT
+
+    def test_single_leaf_root_differs_from_leaf(self):
+        tree = MerkleTree([b"leaf"])
+        assert tree.root != b"leaf"
+        assert len(tree) == 1
+
+    def test_root_depends_on_content(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"a", b"c"]).root
+
+    def test_root_depends_on_order(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+    def test_proof_verifies_against_root(self):
+        leaves = [bytes([i]) * 4 for i in range(7)]
+        tree = MerkleTree(leaves)
+        for index in range(len(leaves)):
+            assert tree.proof(index).verify(tree.root)
+
+    def test_proof_fails_against_other_root(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        other = MerkleTree([b"a", b"b", b"d"])
+        assert not tree.proof(2).verify(other.root)
+
+    def test_proof_out_of_range_rejected(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(CryptoError):
+            tree.proof(5)
+
+    def test_proof_on_empty_tree_rejected(self):
+        with pytest.raises(CryptoError):
+            MerkleTree([]).proof(0)
+
+    def test_root_of_shortcut_matches_full_tree(self):
+        leaves = [b"x", b"y", b"z"]
+        assert MerkleTree.root_of(leaves) == MerkleTree(leaves).root
+
+    @given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=32))
+    def test_every_leaf_provable(self, leaves):
+        tree = MerkleTree(leaves)
+        for index in range(len(leaves)):
+            assert tree.proof(index).verify(tree.root)
+
+    @given(
+        st.lists(st.binary(min_size=1, max_size=8), min_size=2, max_size=16),
+        st.data(),
+    )
+    def test_tampering_with_a_leaf_changes_the_root(self, leaves, data):
+        index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        tampered = list(leaves)
+        tampered[index] = tampered[index] + b"!"
+        assert MerkleTree(leaves).root != MerkleTree(tampered).root

@@ -1,0 +1,114 @@
+"""Integration tests for mobile consensus (§7, Algorithm 2)."""
+
+import pytest
+
+from repro.common.types import ClientId, DomainId, TransactionId, TransactionKind
+from repro.core.mobile import MobileConsensusProtocol
+from repro.ledger.transaction import Transaction
+from repro.workloads.micropayment import client_account_key
+from tests.conftest import internal_transfer, make_deployment
+
+D01, D02, D03 = DomainId(0, 1), DomainId(0, 2), DomainId(0, 3)
+D11, D12, D13 = DomainId(1, 1), DomainId(1, 2), DomainId(1, 3)
+
+MOBILE_CLIENT = ClientId(home=D01, index=1)
+
+
+def _mobile_tx(number, remote, amount=5.0, client=MOBILE_CLIENT, home=D11):
+    sender = client_account_key(client)
+    recipient = f"acct:{remote.name}:0"
+    return Transaction(
+        tid=TransactionId(number=number, origin=client),
+        kind=TransactionKind.MOBILE,
+        involved_domains=(remote,),
+        payload={"op": "transfer", "sender": sender, "recipient": recipient, "amount": amount},
+        read_keys=(sender, recipient),
+        write_keys=(sender, recipient),
+        client=client,
+        home_domain=home,
+        remote_domain=remote,
+    )
+
+
+def _mobile_component(deployment, domain_id) -> MobileConsensusProtocol:
+    node = deployment.primary_node_of(domain_id)
+    return next(c for c in node.components if isinstance(c, MobileConsensusProtocol))
+
+
+@pytest.fixture
+def mobile_deployment():
+    return make_deployment(clients={MOBILE_CLIENT: D11})
+
+
+class TestMobileConsensus:
+    def test_remote_domain_processes_mobile_transactions(self, mobile_deployment):
+        transactions = [_mobile_tx(n, D12) for n in range(1, 6)]
+        summary = mobile_deployment.run_workload(transactions, drain_ms=400.0)
+        assert summary.committed == len(transactions)
+        remote_ledger = mobile_deployment.ledger_of(D12)
+        for tx in transactions:
+            assert tx.tid in remote_ledger
+
+    def test_mobile_transactions_do_not_touch_the_home_ledger(self, mobile_deployment):
+        transactions = [_mobile_tx(n, D12) for n in range(1, 4)]
+        mobile_deployment.run_workload(transactions, drain_ms=400.0)
+        home_ledger = mobile_deployment.ledger_of(D11)
+        for tx in transactions:
+            assert tx.tid not in home_ledger
+
+    def test_state_transferred_once_per_excursion(self, mobile_deployment):
+        transactions = [_mobile_tx(n, D12) for n in range(1, 11)]
+        mobile_deployment.run_workload(transactions, drain_ms=400.0)
+        remote_state = mobile_deployment.state_of(D12)
+        # The device's personal account now lives in the remote domain's state.
+        assert remote_state.has_account(client_account_key(MOBILE_CLIENT))
+
+    def test_home_lock_and_remote_pointer_flip(self, mobile_deployment):
+        transactions = [_mobile_tx(n, D12) for n in range(1, 4)]
+        mobile_deployment.run_workload(transactions, drain_ms=400.0)
+        home = _mobile_component(mobile_deployment, D11)
+        assert home.lock_of(MOBILE_CLIENT) is False
+        assert home.remote_of(MOBILE_CLIENT) == D12
+        remote = _mobile_component(mobile_deployment, D12)
+        assert remote.is_visiting(MOBILE_CLIENT)
+
+    def test_balance_moves_with_the_device(self, mobile_deployment):
+        transactions = [_mobile_tx(n, D12, amount=100.0) for n in range(1, 4)]
+        mobile_deployment.run_workload(transactions, drain_ms=400.0)
+        remote_state = mobile_deployment.state_of(D12)
+        # The device started with 10 000 and paid 3 x 100 in the remote domain.
+        assert remote_state.balance(client_account_key(MOBILE_CLIENT)) == pytest.approx(9_700.0)
+        assert remote_state.balance("acct:D12:0") == pytest.approx(1_000_300.0)
+
+    def test_returning_home_pulls_the_state_back(self, mobile_deployment):
+        away = [_mobile_tx(n, D12, amount=50.0) for n in range(1, 4)]
+        back_home = internal_transfer(D11, sender_index=2, recipient_index=3,
+                                      client=MOBILE_CLIENT)
+        summary = mobile_deployment.run_workload(away + [back_home], drain_ms=600.0)
+        assert summary.committed == 4
+        home = _mobile_component(mobile_deployment, D11)
+        assert home.lock_of(MOBILE_CLIENT) is True
+        # The personal account (minus what was spent) is back home.
+        assert mobile_deployment.state_of(D11).balance(
+            client_account_key(MOBILE_CLIENT)
+        ) == pytest.approx(10_000.0 - 150.0)
+
+    def test_second_remote_domain_gets_state_from_the_first(self, mobile_deployment):
+        first_leg = [_mobile_tx(n, D12, amount=10.0) for n in range(1, 4)]
+        second_leg = [_mobile_tx(n, D13, amount=10.0) for n in range(4, 7)]
+        summary = mobile_deployment.run_workload(first_leg + second_leg, drain_ms=800.0)
+        assert summary.committed == 6
+        home = _mobile_component(mobile_deployment, D11)
+        assert home.remote_of(MOBILE_CLIENT) == D13
+        second_state = mobile_deployment.state_of(D13)
+        assert second_state.balance(client_account_key(MOBILE_CLIENT)) == pytest.approx(
+            10_000.0 - 60.0
+        )
+
+    def test_mobile_latency_amortises_over_the_excursion(self, mobile_deployment):
+        transactions = [_mobile_tx(n, D12) for n in range(1, 11)]
+        mobile_deployment.run_workload(transactions, drain_ms=400.0)
+        records = [mobile_deployment.metrics.record(t.tid) for t in transactions]
+        first, rest = records[0], records[1:]
+        # The first request pays for the state transfer; later ones are local.
+        assert first.latency_ms > max(r.latency_ms for r in rest)

@@ -1,0 +1,163 @@
+"""Integration tests for the optimistic cross-domain protocol (§6)."""
+
+import pytest
+
+from repro.common.types import (
+    ClientId,
+    CrossDomainProtocol,
+    DomainId,
+    TransactionStatus,
+)
+from tests.conftest import cross_transfer, internal_transfer, make_deployment
+
+D01, D02 = DomainId(0, 1), DomainId(0, 2)
+D11, D12, D13, D14 = (DomainId(1, i) for i in range(1, 5))
+D21 = DomainId(2, 1)
+
+
+def _client(leaf, index=1):
+    return ClientId(home=leaf, index=index)
+
+
+class TestOptimisticCommit:
+    def test_cross_domain_transaction_commits_locally_without_coordination(
+        self, optimistic_deployment
+    ):
+        tx = cross_transfer((D11, D12), client=_client(D01))
+        summary = optimistic_deployment.run_workload([tx], drain_ms=400.0)
+        assert summary.committed == 1
+        for domain in (D11, D12):
+            assert tx.tid in optimistic_deployment.ledger_of(domain)
+
+    def test_local_latency_is_lower_than_coordinator(self):
+        """The optimistic path avoids wide-area rounds before commit (§8.1)."""
+        client = _client(D01)
+        optimistic = make_deployment(CrossDomainProtocol.OPTIMISTIC)
+        opt_summary = optimistic.run_workload(
+            [cross_transfer((D11, D13), client=client)], drain_ms=400.0
+        )
+        coordinator = make_deployment(CrossDomainProtocol.COORDINATOR)
+        coord_summary = coordinator.run_workload(
+            [cross_transfer((D11, D13), client=client)], drain_ms=400.0
+        )
+        assert opt_summary.avg_latency_ms < coord_summary.avg_latency_ms
+
+    def test_decision_finalises_status_to_committed(self, optimistic_deployment):
+        tx = cross_transfer((D11, D12), client=_client(D01))
+        optimistic_deployment.run_workload([tx], drain_ms=600.0)
+        for domain in (D11, D12):
+            entry = optimistic_deployment.ledger_of(domain).entry_of(tx.tid)
+            assert entry.status is TransactionStatus.COMMITTED
+
+    def test_lca_sends_the_final_decision(self, optimistic_deployment):
+        from repro.core.optimistic import OptimisticCrossDomainProtocol
+
+        tx = cross_transfer((D11, D12), client=_client(D01))
+        optimistic_deployment.run_workload([tx], drain_ms=600.0)
+        d21 = optimistic_deployment.primary_node_of(D21)
+        component = next(
+            c for c in d21.components if isinstance(c, OptimisticCrossDomainProtocol)
+        )
+        assert tx.tid in component.decisions_sent()
+
+    def test_mixed_workload_commits_consistently(self, optimistic_deployment):
+        clients = [_client(D01), _client(D02)]
+        transactions = []
+        for i in range(16):
+            transactions.append(
+                cross_transfer(
+                    (D11, D12) if i % 2 == 0 else (D12, D11),
+                    sender_index=i % 3,
+                    recipient_index=(i + 1) % 3,
+                    client=clients[i % 2],
+                )
+            )
+        transactions.append(internal_transfer(D11, client=clients[0]))
+        summary = optimistic_deployment.run_workload(transactions, drain_ms=800.0)
+        assert summary.committed + summary.aborted == len(transactions)
+        # Consistency after decisions: surviving conflicting transactions are
+        # ordered identically on every overlapping domain.
+        survivors = [
+            t
+            for t in transactions
+            if len(t.involved_domains) > 1
+            and optimistic_deployment.metrics.record(t.tid).is_committed
+        ]
+        for i, first in enumerate(survivors):
+            for second in survivors[i + 1 :]:
+                shared = set(first.involved_domains) & set(second.involved_domains)
+                if len(shared) < 2:
+                    continue
+                orders = {
+                    optimistic_deployment.ledger_of(d).relative_order(
+                        first.tid, second.tid
+                    )
+                    for d in shared
+                }
+                assert len(orders) == 1
+
+    def test_aborted_transactions_are_aborted_on_all_involved_domains(
+        self, optimistic_deployment
+    ):
+        clients = [_client(D01), _client(D02)]
+        transactions = [
+            cross_transfer(
+                (D11, D12) if i % 2 == 0 else (D12, D11),
+                sender_index=0,
+                recipient_index=1,
+                client=clients[i % 2],
+            )
+            for i in range(12)
+        ]
+        optimistic_deployment.run_workload(transactions, drain_ms=800.0)
+        aborted = [
+            t for t in transactions if optimistic_deployment.metrics.record(t.tid).is_aborted
+        ]
+        for tx in aborted:
+            for domain in tx.involved_domains:
+                ledger = optimistic_deployment.ledger_of(domain)
+                if tx.tid in ledger:
+                    assert ledger.entry_of(tx.tid).status is TransactionStatus.ABORTED
+
+    def test_dependency_lists_follow_data_dependencies(self, optimistic_deployment):
+        """Unit-level check of §6 dependency tracking on one height-1 node."""
+        from repro.core.lazy import SHARED_DEPENDENCIES
+        from repro.core.messages import OptimisticOrder
+        from repro.core.optimistic import OptimisticCrossDomainProtocol
+
+        client = _client(D01)
+        cross = cross_transfer((D11, D12), sender_index=0, recipient_index=1, client=client)
+        dependent = internal_transfer(D11, sender_index=0, recipient_index=2, client=client)
+        independent = internal_transfer(D11, sender_index=5, recipient_index=6, client=client)
+
+        primary = optimistic_deployment.primary_node_of(D11)
+        component = next(
+            c for c in primary.components if isinstance(c, OptimisticCrossDomainProtocol)
+        )
+        component._decided_order(
+            OptimisticOrder(transaction=cross, initiator_domain=D11, client_address="c")
+        )
+        primary.append_and_execute(dependent)
+        primary.append_and_execute(independent)
+
+        dependencies = primary.shared.get(SHARED_DEPENDENCIES, {})
+        assert cross.tid in dependencies
+        assert dependent.tid in dependencies[cross.tid]
+        assert independent.tid not in dependencies[cross.tid]
+        # Finalising the cross-domain transaction clears its dependency list.
+        component._finalize_commit(cross.tid)
+        assert cross.tid not in primary.shared.get(SHARED_DEPENDENCIES, {})
+
+    def test_root_volume_counts_only_surviving_transactions(self, optimistic_deployment):
+        clients = [_client(D01), _client(D02)]
+        transactions = [
+            cross_transfer((D11, D12), sender_index=i, recipient_index=i + 1,
+                           amount=10.0, client=clients[i % 2])
+            for i in range(6)
+        ]
+        summary = optimistic_deployment.run_workload(transactions, drain_ms=800.0)
+        total = optimistic_deployment.root_summary().aggregate_sum("volume:")
+        # Each committed cross transfer adds its amount to the volume counter of
+        # both involved domains (sender side and recipient side).
+        assert total <= 2 * sum(t.payload["amount"] for t in transactions)
+        assert summary.committed > 0

@@ -1,0 +1,171 @@
+"""Unit tests for the discrete-event simulator, CPU model, and RNG registry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.cpu import CpuQueue
+from repro.sim.events import EventQueue
+from repro.sim.rng import RngRegistry
+from repro.sim.simulator import Simulator
+
+
+class TestEventQueue:
+    def test_events_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(5.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(9.0, lambda: order.append("c"))
+        while queue:
+            queue.pop().callback()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("first"))
+        queue.push(1.0, lambda: order.append("second"))
+        queue.pop().callback()
+        queue.pop().callback()
+        assert order == ["first", "second"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_peek_time_ignores_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(10.0, lambda: times.append(sim.now))
+        sim.schedule(3.0, lambda: times.append(sim.now))
+        sim.run_until_idle()
+        assert times == [3.0, 10.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(sim.now)
+            sim.schedule(5.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run_until_idle()
+        assert seen == [1.0, 6.0]
+
+    def test_run_until_bound_stops_clock_at_bound(self):
+        sim = Simulator()
+        sim.schedule(100.0, lambda: None)
+        stopped_at = sim.run(until_ms=50.0)
+        assert stopped_at == 50.0
+        assert sim.pending_events == 1
+
+    def test_stop_when_predicate(self):
+        sim = Simulator()
+        counter = []
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: counter.append(1))
+        sim.run(stop_when=lambda: len(counter) >= 3)
+        assert len(counter) == 3
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_timer_cancellation_prevents_callback(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.set_timer(5.0, lambda: fired.append(1))
+        timer.cancel()
+        sim.run_until_idle()
+        assert not fired
+        assert not timer.active
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        assert sim.events_executed == 4
+
+
+class TestCpuQueue:
+    def test_idle_cpu_starts_immediately(self):
+        cpu = CpuQueue()
+        assert cpu.submit(10.0, 2.0) == 12.0
+
+    def test_busy_cpu_queues_work(self):
+        cpu = CpuQueue()
+        cpu.submit(0.0, 5.0)
+        assert cpu.submit(1.0, 2.0) == 7.0
+
+    def test_gap_between_jobs_leaves_cpu_idle(self):
+        cpu = CpuQueue()
+        cpu.submit(0.0, 1.0)
+        assert cpu.submit(10.0, 1.0) == 11.0
+
+    def test_utilisation_is_bounded(self):
+        cpu = CpuQueue()
+        cpu.submit(0.0, 5.0)
+        assert cpu.utilisation(10.0) == pytest.approx(0.5)
+        assert cpu.utilisation(2.0) == 1.0
+        assert cpu.utilisation(0.0) == 0.0
+
+    def test_negative_service_time_rejected(self):
+        with pytest.raises(SimulationError):
+            CpuQueue().submit(0.0, -1.0)
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 10)), min_size=1, max_size=50))
+    def test_completions_are_monotonic_for_fifo_arrivals(self, jobs):
+        cpu = CpuQueue()
+        arrivals = sorted(arrival for arrival, _ in jobs)
+        completions = []
+        for arrival, (_, service) in zip(arrivals, jobs):
+            completions.append(cpu.submit(arrival, service))
+        assert completions == sorted(completions)
+
+
+class TestRngRegistry:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(42).stream("net")
+        b = RngRegistry(42).stream("net")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_streams_are_independent(self):
+        registry = RngRegistry(42)
+        net = registry.stream("net")
+        workload = registry.stream("workload")
+        assert [net.random() for _ in range(3)] != [workload.random() for _ in range(3)]
+
+    def test_stream_is_cached(self):
+        registry = RngRegistry(1)
+        assert registry.stream("x") is registry.stream("x")
+
+    def test_spawned_registry_differs_from_parent(self):
+        parent = RngRegistry(7)
+        child = parent.spawn("rep-1")
+        assert parent.stream("s").random() != child.stream("s").random()

@@ -1,0 +1,148 @@
+"""Unit and property tests for the blockchain state store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InsufficientBalanceError, StateError, UnknownAccountError
+from repro.ledger.state import StateStore
+
+
+class TestKeyValue:
+    def test_put_get_roundtrip(self):
+        state = StateStore("s")
+        state.put("k", 42)
+        assert state.get("k") == 42
+        assert "k" in state and len(state) == 1
+
+    def test_strict_read_raises_for_missing_key(self):
+        with pytest.raises(StateError):
+            StateStore().read("missing")
+
+    def test_version_increments_per_write(self):
+        state = StateStore()
+        assert state.version == 0
+        state.put("a", 1)
+        state.put("b", 2)
+        state.put("a", 3)
+        assert state.version == 3
+
+    def test_increment_creates_and_adds(self):
+        state = StateStore()
+        assert state.increment("counter", 5) == 5
+        assert state.increment("counter", 2) == 7
+
+    def test_increment_non_numeric_rejected(self):
+        state = StateStore()
+        state.put("k", "text")
+        with pytest.raises(StateError):
+            state.increment("k")
+
+
+class TestAccounts:
+    def test_create_and_balance(self):
+        state = StateStore()
+        state.create_account("alice", 100)
+        assert state.balance("alice") == 100
+        assert state.has_account("alice")
+
+    def test_duplicate_account_rejected(self):
+        state = StateStore()
+        state.create_account("alice", 1)
+        with pytest.raises(StateError):
+            state.create_account("alice", 2)
+
+    def test_unknown_account_raises(self):
+        with pytest.raises(UnknownAccountError):
+            StateStore().balance("ghost")
+
+    def test_transfer_moves_funds(self):
+        state = StateStore()
+        state.create_account("alice", 100)
+        state.create_account("bob", 10)
+        state.transfer("alice", "bob", 30)
+        assert state.balance("alice") == 70
+        assert state.balance("bob") == 40
+
+    def test_overdraft_rejected_and_rolled_back(self):
+        state = StateStore()
+        state.create_account("alice", 10)
+        state.create_account("bob", 0)
+        with pytest.raises(InsufficientBalanceError):
+            state.transfer("alice", "bob", 100)
+        assert state.balance("alice") == 10
+
+    def test_transfer_to_missing_recipient_rolls_back_sender(self):
+        state = StateStore()
+        state.create_account("alice", 50)
+        with pytest.raises(StateError):
+            state.transfer("alice", "ghost", 10)
+        assert state.balance("alice") == 50
+
+    def test_negative_amounts_rejected(self):
+        state = StateStore()
+        state.create_account("alice", 50)
+        with pytest.raises(StateError):
+            state.deposit("alice", -5)
+        with pytest.raises(StateError):
+            state.withdraw("alice", -5)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(1, 50)),
+            max_size=60,
+        )
+    )
+    def test_transfers_conserve_total_balance(self, moves):
+        state = StateStore()
+        accounts = [f"acct{i}" for i in range(4)]
+        for account in accounts:
+            state.create_account(account, 1_000)
+        total_before = sum(state.balance(a) for a in accounts)
+        for sender_i, recipient_i, amount in moves:
+            if sender_i == recipient_i:
+                continue
+            try:
+                state.transfer(accounts[sender_i], accounts[recipient_i], amount)
+            except InsufficientBalanceError:
+                pass
+        assert sum(state.balance(a) for a in accounts) == total_before
+
+
+class TestDeltasAndSnapshots:
+    def test_delta_since_reports_latest_values(self):
+        state = StateStore()
+        state.put("a", 1)
+        version = state.version
+        state.put("b", 2)
+        state.put("a", 3)
+        assert state.delta_since(version) == {"b": 2, "a": 3}
+        assert state.delta_since(state.version) == {}
+
+    def test_delta_since_invalid_version(self):
+        with pytest.raises(StateError):
+            StateStore().delta_since(5)
+
+    def test_snapshot_and_restore(self):
+        state = StateStore()
+        state.put("a", 1)
+        snapshot = state.snapshot()
+        state.put("a", 2)
+        state.put("b", 3)
+        state.restore(snapshot)
+        assert state.get("a") == 1
+        assert state.get("b") is None
+
+    def test_totals_by_prefix(self):
+        state = StateStore()
+        state.put("acct:1", 10)
+        state.put("acct:2", 15)
+        state.put("other", 99)
+        assert state.totals("acct:") == 25
+
+    def test_write_log_filters_by_version(self):
+        state = StateStore()
+        state.put("a", 1)
+        mark = state.version
+        state.put("b", 2)
+        log = state.write_log(mark)
+        assert [record.key for record in log] == ["b"]

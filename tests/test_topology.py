@@ -1,0 +1,210 @@
+"""Unit and property tests for domains, the hierarchy, LCA, and placements."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.config import DomainSpec, HierarchySpec
+from repro.common.types import DomainId, FailureModel
+from repro.errors import ConfigurationError, TopologyError, UnknownDomainError
+from repro.topology.builders import (
+    build_flat_domains,
+    build_paper_figure1_tree,
+    build_tree,
+)
+from repro.topology.domain import Domain
+from repro.topology.hierarchy import Hierarchy
+from repro.topology.regions import (
+    place_nearby_eu,
+    place_single_region,
+    place_wide_area,
+    placement_for_profile,
+)
+
+
+class TestDomain:
+    def test_crash_domain_sizes(self):
+        domain = Domain(id=DomainId(1, 1), failure_model=FailureModel.CRASH, faults=2)
+        assert len(domain.node_ids) == 5
+        assert domain.quorum == 3
+        assert domain.certificate_size == 1
+
+    def test_byzantine_domain_sizes(self):
+        domain = Domain(id=DomainId(2, 1), failure_model=FailureModel.BYZANTINE, faults=1)
+        assert len(domain.node_ids) == 4
+        assert domain.quorum == 3
+        assert domain.certificate_size == 3
+
+    def test_undersized_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Domain(id=DomainId(1, 1), faults=2, num_nodes=3)
+
+    def test_leaf_domain_has_no_servers(self):
+        leaf = Domain(id=DomainId(0, 1), faults=0)
+        assert leaf.is_leaf
+        assert leaf.node_ids == ()
+
+    def test_primary_rotation(self):
+        domain = Domain(id=DomainId(1, 1), faults=1)
+        assert domain.primary == domain.node_ids[0]
+        assert domain.primary_for_view(1) == domain.node_ids[1]
+        assert domain.primary_for_view(3) == domain.node_ids[0]
+
+
+class TestFigure1Tree:
+    def test_paper_tree_has_eleven_domains(self, figure1_hierarchy):
+        assert len(figure1_hierarchy) == 11
+        assert len(figure1_hierarchy.height1_domains()) == 4
+        assert len(figure1_hierarchy.leaf_domains()) == 4
+        assert len(figure1_hierarchy.domains_at_height(2)) == 2
+        assert figure1_hierarchy.root.height == 3
+
+    def test_every_leaf_hangs_off_a_height1_domain(self, figure1_hierarchy):
+        for leaf in figure1_hierarchy.leaf_domains():
+            parent = figure1_hierarchy.parent_height1_of_leaf(leaf.id)
+            assert parent.height == 1
+
+    def test_lca_of_siblings_is_their_parent(self, figure1_hierarchy):
+        lca = figure1_hierarchy.lowest_common_ancestor([DomainId(1, 1), DomainId(1, 2)])
+        assert lca.id == DomainId(2, 1)
+
+    def test_lca_of_cousins_is_the_root(self, figure1_hierarchy):
+        lca = figure1_hierarchy.lowest_common_ancestor([DomainId(1, 1), DomainId(1, 3)])
+        assert lca.id == figure1_hierarchy.root.id
+
+    def test_lca_of_three_domains(self, figure1_hierarchy):
+        lca = figure1_hierarchy.lowest_common_ancestor(
+            [DomainId(1, 1), DomainId(1, 2), DomainId(1, 4)]
+        )
+        assert lca.id == figure1_hierarchy.root.id
+
+    def test_lca_of_single_domain_is_itself(self, figure1_hierarchy):
+        assert (
+            figure1_hierarchy.lowest_common_ancestor([DomainId(1, 2)]).id
+            == DomainId(1, 2)
+        )
+
+    def test_path_between_crosses_the_lca(self, figure1_hierarchy):
+        path = [d.id for d in figure1_hierarchy.path_between(DomainId(1, 1), DomainId(1, 2))]
+        assert path == [DomainId(1, 1), DomainId(2, 1), DomainId(1, 2)]
+
+    def test_hop_distance(self, figure1_hierarchy):
+        assert figure1_hierarchy.hop_distance(DomainId(1, 1), DomainId(1, 2)) == 2
+        assert figure1_hierarchy.hop_distance(DomainId(1, 1), DomainId(1, 3)) == 4
+
+    def test_lca_minimises_total_distance(self, figure1_hierarchy):
+        """The LCA is the best coordinator choice (the paper's placement claim)."""
+        participants = [DomainId(1, 1), DomainId(1, 2)]
+        lca = figure1_hierarchy.lowest_common_ancestor(participants)
+        lca_distance = figure1_hierarchy.total_distance_from(lca.id, participants)
+        for candidate in figure1_hierarchy.all_domains():
+            if candidate.height >= 2:
+                assert (
+                    figure1_hierarchy.total_distance_from(candidate.id, participants)
+                    >= lca_distance
+                )
+
+    def test_descendants_and_ancestors(self, figure1_hierarchy):
+        root = figure1_hierarchy.root.id
+        descendants = {d.id for d in figure1_hierarchy.descendants_of(root)}
+        assert len(descendants) == 10
+        ancestors = [d.id for d in figure1_hierarchy.ancestors_of(DomainId(1, 1))]
+        assert ancestors == [DomainId(2, 1), root]
+        assert figure1_hierarchy.is_ancestor(root, DomainId(0, 1))
+
+    def test_height1_descendants_of_height2(self, figure1_hierarchy):
+        ids = {d.id for d in figure1_hierarchy.height1_descendants_of(DomainId(2, 2))}
+        assert ids == {DomainId(1, 3), DomainId(1, 4)}
+
+    def test_describe_mentions_every_domain(self, figure1_hierarchy):
+        text = figure1_hierarchy.describe()
+        for domain in figure1_hierarchy.all_domains():
+            assert domain.name in text
+
+
+class TestHierarchyValidation:
+    def test_duplicate_domain_rejected(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_domain(Domain(id=DomainId(2, 1)))
+        with pytest.raises(TopologyError):
+            hierarchy.add_domain(Domain(id=DomainId(2, 1)))
+
+    def test_second_root_rejected(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_domain(Domain(id=DomainId(2, 1)))
+        with pytest.raises(TopologyError):
+            hierarchy.add_domain(Domain(id=DomainId(2, 2)), parent=None)
+
+    def test_child_height_must_be_parent_minus_one(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_domain(Domain(id=DomainId(3, 1)))
+        with pytest.raises(TopologyError):
+            hierarchy.add_domain(Domain(id=DomainId(1, 1)), parent=DomainId(3, 1))
+
+    def test_unknown_parent_rejected(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_domain(Domain(id=DomainId(2, 1)))
+        with pytest.raises(UnknownDomainError):
+            hierarchy.add_domain(Domain(id=DomainId(1, 1)), parent=DomainId(2, 9))
+
+    def test_unknown_domain_lookup(self):
+        hierarchy = build_paper_figure1_tree()
+        with pytest.raises(UnknownDomainError):
+            hierarchy.domain(DomainId(1, 9))
+
+    def test_lca_of_empty_set_rejected(self):
+        with pytest.raises(TopologyError):
+            build_paper_figure1_tree().lowest_common_ancestor([])
+
+
+class TestBuilders:
+    @given(levels=st.integers(min_value=2, max_value=5), branching=st.integers(min_value=1, max_value=3))
+    def test_tree_shape_matches_spec(self, levels, branching):
+        spec = HierarchySpec(levels=levels, branching=branching)
+        hierarchy = build_tree(spec)
+        assert len(hierarchy.height1_domains()) == spec.num_height1_domains
+        hierarchy.validate()
+
+    def test_per_domain_overrides_apply(self):
+        override = DomainSpec(failure_model=FailureModel.BYZANTINE, faults=2)
+        hierarchy = build_paper_figure1_tree(per_domain={"D21": override})
+        assert hierarchy.domain(DomainId(2, 1)).failure_model is FailureModel.BYZANTINE
+        assert len(hierarchy.domain(DomainId(2, 1)).node_ids) == 7
+
+    def test_flat_topology_for_baselines(self):
+        hierarchy = build_flat_domains(4)
+        assert len(hierarchy.height1_domains()) == 4
+        assert hierarchy.root.height == 2
+        lca = hierarchy.lowest_common_ancestor([DomainId(1, 1), DomainId(1, 4)])
+        assert lca.id == hierarchy.root.id
+
+    def test_flat_topology_needs_a_domain(self):
+        with pytest.raises(ConfigurationError):
+            build_flat_domains(0)
+
+
+class TestPlacements:
+    def test_nearby_placement_regions(self):
+        hierarchy = place_nearby_eu(build_paper_figure1_tree())
+        regions = [d.region for d in hierarchy.height1_domains()]
+        assert regions == ["FR", "MI", "LDN", "PAR"]
+        assert hierarchy.root.region == "FR"
+
+    def test_wide_area_placement_regions(self):
+        hierarchy = place_wide_area(build_paper_figure1_tree())
+        assert [d.region for d in hierarchy.height1_domains()] == ["TY", "HK", "VA", "OH"]
+        assert sorted(d.region for d in hierarchy.domains_at_height(2)) == ["OR", "SU"]
+        assert hierarchy.root.region == "CA"
+
+    def test_leaves_follow_their_height1_domain(self):
+        hierarchy = place_wide_area(build_paper_figure1_tree())
+        for leaf in hierarchy.leaf_domains():
+            assert leaf.region == hierarchy.parent_height1_of_leaf(leaf.id).region
+
+    def test_single_region_placement(self):
+        hierarchy = place_single_region(build_paper_figure1_tree(), region="LOCAL")
+        assert {d.region for d in hierarchy.all_domains()} == {"LOCAL"}
+
+    def test_placement_for_profile_dispatch(self):
+        assert placement_for_profile(build_paper_figure1_tree(), "lan").root.region == "LOCAL"
+        with pytest.raises(ConfigurationError):
+            placement_for_profile(build_paper_figure1_tree(), "unknown")

@@ -1,0 +1,125 @@
+"""Unit tests for transactions and committed entries."""
+
+import pytest
+
+from repro.common.types import (
+    ClientId,
+    DomainId,
+    SequenceNumber,
+    TransactionId,
+    TransactionKind,
+    TransactionStatus,
+)
+from repro.errors import TransactionError
+from repro.ledger.transaction import CommittedEntry, Transaction
+
+D11, D12, D13 = DomainId(1, 1), DomainId(1, 2), DomainId(1, 3)
+
+
+def _tx(kind=TransactionKind.INTERNAL, domains=(D11,), **kwargs):
+    return Transaction(
+        tid=TransactionId(number=kwargs.pop("number", 1)),
+        kind=kind,
+        involved_domains=tuple(domains),
+        **kwargs,
+    )
+
+
+class TestTransactionValidation:
+    def test_internal_must_involve_exactly_one_domain(self):
+        with pytest.raises(TransactionError):
+            _tx(TransactionKind.INTERNAL, (D11, D12))
+
+    def test_cross_domain_needs_two_domains(self):
+        with pytest.raises(TransactionError):
+            _tx(TransactionKind.CROSS_DOMAIN, (D11,))
+
+    def test_mobile_needs_home_and_remote(self):
+        with pytest.raises(TransactionError):
+            _tx(TransactionKind.MOBILE, (D12,))
+        mobile = _tx(
+            TransactionKind.MOBILE, (D12,), home_domain=D11, remote_domain=D12
+        )
+        assert mobile.is_mobile
+        assert mobile.primary_domain == D12
+
+    def test_duplicate_involved_domains_rejected(self):
+        with pytest.raises(TransactionError):
+            _tx(TransactionKind.CROSS_DOMAIN, (D11, D11))
+
+    def test_no_involved_domains_rejected(self):
+        with pytest.raises(TransactionError):
+            _tx(TransactionKind.INTERNAL, ())
+
+
+class TestTransactionQueries:
+    def test_involves(self):
+        tx = _tx(TransactionKind.CROSS_DOMAIN, (D11, D12))
+        assert tx.involves(D11) and tx.involves(D12) and not tx.involves(D13)
+
+    def test_overlap(self):
+        a = _tx(TransactionKind.CROSS_DOMAIN, (D11, D12), number=1)
+        b = _tx(TransactionKind.CROSS_DOMAIN, (D12, D13), number=2)
+        assert a.overlap_with(b) == (D12,)
+
+    def test_conflicts_on_write_write(self):
+        a = _tx(domains=(D11,), number=1, write_keys=("x",))
+        b = _tx(domains=(D11,), number=2, write_keys=("x",))
+        c = _tx(domains=(D11,), number=3, write_keys=("y",))
+        assert a.conflicts_with(b)
+        assert not a.conflicts_with(c)
+
+    def test_conflicts_on_read_write(self):
+        reader = _tx(domains=(D11,), number=1, read_keys=("x",))
+        writer = _tx(domains=(D11,), number=2, write_keys=("x",))
+        assert reader.conflicts_with(writer)
+        assert writer.conflicts_with(reader)
+
+    def test_read_read_is_not_a_conflict(self):
+        a = _tx(domains=(D11,), number=1, read_keys=("x",))
+        b = _tx(domains=(D11,), number=2, read_keys=("x",))
+        assert not a.conflicts_with(b)
+
+    def test_digest_changes_with_payload(self):
+        a = _tx(domains=(D11,), number=1, payload={"amount": 5})
+        b = _tx(domains=(D11,), number=1, payload={"amount": 6})
+        assert a.request_digest != b.request_digest
+
+    def test_digest_is_stable(self):
+        a = _tx(domains=(D11,), number=1, payload={"amount": 5})
+        assert a.request_digest == a.request_digest
+
+
+class TestCommittedEntry:
+    def test_sequence_must_reference_involved_domains(self):
+        tx = _tx(domains=(D11,), number=1)
+        with pytest.raises(TransactionError):
+            CommittedEntry(transaction=tx, sequence=SequenceNumber.single(D12, 1))
+
+    def test_position_lookup(self):
+        tx = _tx(TransactionKind.CROSS_DOMAIN, (D11, D12), number=2)
+        entry = CommittedEntry(
+            transaction=tx,
+            sequence=SequenceNumber.multi([(D11, 3), (D12, 7)]),
+        )
+        assert entry.position_in(D11) == 3
+        assert entry.position_in(D12) == 7
+        assert entry.position_in(D13) is None
+
+    def test_with_status_preserves_identity(self):
+        tx = _tx(domains=(D11,), number=1)
+        entry = CommittedEntry(transaction=tx, sequence=SequenceNumber.single(D11, 1))
+        aborted = entry.with_status(TransactionStatus.ABORTED)
+        assert aborted.tid == entry.tid
+        assert aborted.status is TransactionStatus.ABORTED
+        assert entry.status is TransactionStatus.COMMITTED
+
+    def test_canonical_bytes_ignore_status(self):
+        """Status flips (optimistic finalise/abort) must not change the chain hash."""
+        tx = _tx(domains=(D11,), number=1)
+        entry = CommittedEntry(transaction=tx, sequence=SequenceNumber.single(D11, 1))
+        assert entry.canonical_bytes() == entry.with_status(
+            TransactionStatus.ABORTED
+        ).canonical_bytes()
+        other = CommittedEntry(transaction=tx, sequence=SequenceNumber.single(D11, 2))
+        assert entry.canonical_bytes() != other.canonical_bytes()

@@ -1,0 +1,141 @@
+"""Unit tests for identifiers, enums, and sequence numbers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.types import (
+    ClientId,
+    DomainId,
+    FailureModel,
+    NodeId,
+    SequenceNumber,
+    TransactionId,
+    domain_size_for_failures,
+    quorum_size,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDomainId:
+    def test_name_follows_paper_convention(self):
+        assert DomainId(height=2, index=1).name == "D21"
+        assert DomainId(height=0, index=4).name == "D04"
+
+    def test_ordering_is_by_height_then_index(self):
+        assert DomainId(1, 2) < DomainId(2, 1)
+        assert DomainId(1, 1) < DomainId(1, 2)
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DomainId(height=-1, index=1)
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DomainId(height=1, index=0)
+
+    def test_hashable_and_equal(self):
+        assert DomainId(1, 1) == DomainId(1, 1)
+        assert len({DomainId(1, 1), DomainId(1, 1), DomainId(1, 2)}) == 2
+
+
+class TestNodeAndClientIds:
+    def test_node_name_includes_domain(self):
+        node = NodeId(domain=DomainId(1, 3), index=2)
+        assert node.name == "D13/n2"
+
+    def test_client_name_includes_home_leaf(self):
+        client = ClientId(home=DomainId(0, 2), index=5)
+        assert client.name == "D02/c5"
+
+    def test_transaction_id_name_mentions_origin(self):
+        client = ClientId(home=DomainId(0, 1), index=1)
+        tid = TransactionId(number=7, origin=client)
+        assert "tx7" in tid.name and client.name in tid.name
+
+    def test_transaction_id_without_origin(self):
+        assert "system" in TransactionId(number=3).name
+
+
+class TestSequenceNumber:
+    def test_single_part(self):
+        seq = SequenceNumber.single(DomainId(1, 1), 4)
+        assert not seq.is_cross_domain
+        assert seq.position_in(DomainId(1, 1)) == 4
+        assert seq.position_in(DomainId(1, 2)) is None
+
+    def test_multi_part_is_cross_domain(self):
+        seq = SequenceNumber.multi([(DomainId(1, 1), 4), (DomainId(1, 2), 9)])
+        assert seq.is_cross_domain
+        assert set(seq.domains) == {DomainId(1, 1), DomainId(1, 2)}
+
+    def test_merge_combines_disjoint_parts(self):
+        a = SequenceNumber.single(DomainId(1, 1), 4)
+        b = SequenceNumber.single(DomainId(1, 2), 9)
+        merged = a.merged_with(b)
+        assert merged.position_in(DomainId(1, 1)) == 4
+        assert merged.position_in(DomainId(1, 2)) == 9
+
+    def test_merge_conflicting_positions_rejected(self):
+        a = SequenceNumber.single(DomainId(1, 1), 4)
+        b = SequenceNumber.single(DomainId(1, 1), 5)
+        with pytest.raises(ConfigurationError):
+            a.merged_with(b)
+
+    def test_merge_same_position_is_idempotent(self):
+        a = SequenceNumber.single(DomainId(1, 1), 4)
+        assert a.merged_with(a) == a
+
+    def test_duplicate_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SequenceNumber(parts=((DomainId(1, 1), 1), (DomainId(1, 1), 2)))
+
+    def test_str_contains_every_part(self):
+        seq = SequenceNumber.multi([(DomainId(1, 1), 1), (DomainId(1, 2), 2)])
+        assert "D11" in str(seq) and "D12" in str(seq)
+
+
+class TestQuorums:
+    @pytest.mark.parametrize(
+        "nodes,model,expected",
+        [
+            (3, FailureModel.CRASH, 2),
+            (5, FailureModel.CRASH, 3),
+            (9, FailureModel.CRASH, 5),
+            (4, FailureModel.BYZANTINE, 3),
+            (7, FailureModel.BYZANTINE, 5),
+            (13, FailureModel.BYZANTINE, 9),
+        ],
+    )
+    def test_quorum_sizes_match_protocol_requirements(self, nodes, model, expected):
+        assert quorum_size(nodes, model) == expected
+
+    @pytest.mark.parametrize(
+        "faults,model,expected",
+        [
+            (1, FailureModel.CRASH, 3),
+            (2, FailureModel.CRASH, 5),
+            (4, FailureModel.CRASH, 9),
+            (1, FailureModel.BYZANTINE, 4),
+            (2, FailureModel.BYZANTINE, 7),
+            (4, FailureModel.BYZANTINE, 13),
+        ],
+    )
+    def test_domain_sizes_match_paper_settings(self, faults, model, expected):
+        assert domain_size_for_failures(faults, model) == expected
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quorum_size(0, FailureModel.CRASH)
+
+    @given(faults=st.integers(min_value=0, max_value=20))
+    def test_crash_domains_always_have_majority_quorum(self, faults):
+        nodes = domain_size_for_failures(faults, FailureModel.CRASH)
+        quorum = quorum_size(nodes, FailureModel.CRASH)
+        assert 2 * quorum > nodes
+
+    @given(faults=st.integers(min_value=0, max_value=20))
+    def test_byzantine_quorums_intersect_in_honest_node(self, faults):
+        nodes = domain_size_for_failures(faults, FailureModel.BYZANTINE)
+        quorum = quorum_size(nodes, FailureModel.BYZANTINE)
+        # Two quorums intersect in at least f+1 nodes, one of which is honest.
+        assert 2 * quorum - nodes >= faults + 1

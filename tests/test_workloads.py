@@ -1,0 +1,253 @@
+"""Tests for the workload generator and the two applications."""
+
+import pytest
+
+from repro.common.config import WorkloadConfig
+from repro.common.types import ClientId, DomainId, TransactionId, TransactionKind
+from repro.core.application import KeyValueApplication
+from repro.errors import WorkloadError
+from repro.ledger.state import StateStore
+from repro.ledger.transaction import Transaction
+from repro.topology.builders import build_paper_figure1_tree
+from repro.topology.domain import Domain
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.micropayment import (
+    MicropaymentApplication,
+    account_key,
+    client_account_key,
+    volume_key,
+)
+from repro.workloads.ridesharing import RidesharingApplication, driver_hours_key
+
+D11, D12 = DomainId(1, 1), DomainId(1, 2)
+
+
+class TestWorkloadGenerator:
+    def _generate(self, **kwargs):
+        hierarchy = build_paper_figure1_tree()
+        config = WorkloadConfig(num_transactions=kwargs.pop("n", 200), **kwargs)
+        return WorkloadGenerator(hierarchy, config, num_clients=kwargs.pop("clients", 8)).generate()
+
+    def test_transaction_count_matches_config(self):
+        workload = self._generate(n=150)
+        assert workload.num_transactions == 150
+
+    def test_pure_internal_workload(self):
+        workload = self._generate(cross_domain_ratio=0.0, mobile_ratio=0.0)
+        assert workload.kind_counts() == {TransactionKind.INTERNAL: 200}
+
+    def test_cross_domain_ratio_is_respected(self):
+        workload = self._generate(cross_domain_ratio=0.5)
+        counts = workload.kind_counts()
+        fraction = counts.get(TransactionKind.CROSS_DOMAIN, 0) / 200
+        assert 0.35 < fraction < 0.65
+
+    def test_full_cross_domain_workload(self):
+        workload = self._generate(cross_domain_ratio=1.0)
+        assert workload.kind_counts()[TransactionKind.CROSS_DOMAIN] == 200
+
+    def test_mobile_ratio_marks_clients_not_transactions(self):
+        workload = self._generate(mobile_ratio=0.5)
+        counts = workload.kind_counts()
+        # Half the clients are mobile, and load is dealt round-robin.
+        fraction = counts.get(TransactionKind.MOBILE, 0) / 200
+        assert 0.4 < fraction < 0.6
+
+    def test_mobile_excursions_stay_in_one_remote_domain(self):
+        workload = self._generate(mobile_ratio=1.0, mobile_txns_per_excursion=10)
+        by_client = {}
+        for tx in workload.transactions:
+            by_client.setdefault(tx.client, []).append(tx)
+        for transactions in by_client.values():
+            first_excursion = transactions[:10]
+            remotes = {t.remote_domain for t in first_excursion}
+            assert len(remotes) == 1
+            assert remotes.pop() != None
+
+    def test_mobile_transactions_never_target_the_home_domain(self):
+        workload = self._generate(mobile_ratio=1.0)
+        for tx in workload.transactions:
+            assert tx.remote_domain != tx.home_domain
+
+    def test_cross_domain_involves_the_clients_local_domain(self):
+        workload = self._generate(cross_domain_ratio=1.0)
+        hierarchy = build_paper_figure1_tree()
+        for tx in workload.transactions:
+            local = hierarchy.parent_height1_of_leaf(tx.client.home).id
+            assert local in tx.involved_domains
+
+    def test_contention_concentrates_on_hot_accounts(self):
+        hot = self._generate(contention_ratio=1.0, hot_accounts_per_domain=2)
+        cold = self._generate(contention_ratio=0.0, hot_accounts_per_domain=2)
+        hot_keys = {t.payload["sender"] for t in hot.transactions}
+        cold_keys = {t.payload["sender"] for t in cold.transactions}
+        assert len(hot_keys) < len(cold_keys)
+
+    def test_deterministic_given_seed(self):
+        a = self._generate(seed=5)
+        b = self._generate(seed=5)
+        assert [t.tid for t in a.transactions] == [t.tid for t in b.transactions]
+        assert [t.payload for t in a.transactions] == [t.payload for t in b.transactions]
+
+    def test_clients_registered_with_application(self):
+        workload = self._generate(mobile_ratio=1.0)
+        application = MicropaymentApplication(accounts_per_domain=8)
+        workload.configure_application(application)
+        domain = Domain(id=D11)
+        state = StateStore()
+        application.initialize_domain(domain, state)
+        homed_here = [c for c, home in workload.clients.items() if home == D11]
+        for client in homed_here:
+            assert state.has_account(client_account_key(client))
+
+    def test_invalid_client_count_rejected(self):
+        hierarchy = build_paper_figure1_tree()
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator(hierarchy, WorkloadConfig(), num_clients=0)
+
+
+class TestMicropaymentApplication:
+    def _app_and_state(self):
+        application = MicropaymentApplication(accounts_per_domain=4, initial_balance=100.0)
+        state = StateStore()
+        application.initialize_domain(Domain(id=D11), state)
+        return application, state
+
+    def _transfer(self, sender, recipient, amount):
+        return Transaction(
+            tid=TransactionId(number=1),
+            kind=TransactionKind.INTERNAL,
+            involved_domains=(D11,),
+            payload={"op": "transfer", "sender": sender, "recipient": recipient, "amount": amount},
+        )
+
+    def test_initialize_creates_accounts_and_volume(self):
+        _, state = self._app_and_state()
+        assert state.balance(account_key(D11, 0)) == 100.0
+        assert state.get(volume_key(D11)) == 0.0
+
+    def test_local_transfer(self):
+        application, state = self._app_and_state()
+        result = application.execute(
+            self._transfer(account_key(D11, 0), account_key(D11, 1), 30.0), state, D11
+        )
+        assert result.success
+        assert state.balance(account_key(D11, 0)) == 70.0
+        assert state.balance(account_key(D11, 1)) == 130.0
+        assert state.get(volume_key(D11)) == 30.0
+
+    def test_cross_domain_transfer_applies_local_side_only(self):
+        application, state = self._app_and_state()
+        result = application.execute(
+            self._transfer(account_key(D11, 0), account_key(D12, 1), 25.0), state, D11
+        )
+        assert result.success
+        assert state.balance(account_key(D11, 0)) == 75.0
+        assert not state.has_account(account_key(D12, 1))
+
+    def test_insufficient_balance_fails_cleanly(self):
+        application, state = self._app_and_state()
+        result = application.execute(
+            self._transfer(account_key(D11, 0), account_key(D11, 1), 1_000.0), state, D11
+        )
+        assert not result.success
+        assert state.balance(account_key(D11, 0)) == 100.0
+
+    def test_unknown_operation_rejected(self):
+        application, state = self._app_and_state()
+        tx = Transaction(
+            tid=TransactionId(number=2),
+            kind=TransactionKind.INTERNAL,
+            involved_domains=(D11,),
+            payload={"op": "mint"},
+        )
+        assert not application.execute(tx, state, D11).success
+
+    def test_abstraction_forwards_only_volume(self):
+        application, _ = self._app_and_state()
+        abstract = application.abstraction()({
+            account_key(D11, 0): 70.0,
+            volume_key(D11): 30.0,
+        })
+        assert abstract == {volume_key(D11): 30.0}
+
+    def test_client_state_roundtrip(self):
+        client = ClientId(home=DomainId(0, 1), index=1)
+        application = MicropaymentApplication(accounts_per_domain=2)
+        application.register_client(client, D11)
+        state = StateStore()
+        application.initialize_domain(Domain(id=D11), state)
+        snapshot = application.client_state(client, state)
+        assert snapshot == {client_account_key(client): 10_000.0}
+        other = StateStore()
+        application.apply_client_state(client, snapshot, other)
+        assert other.balance(client_account_key(client)) == 10_000.0
+
+
+class TestRidesharingApplication:
+    def _ride(self, driver, hours, number=1):
+        return Transaction(
+            tid=TransactionId(number=number),
+            kind=TransactionKind.INTERNAL,
+            involved_domains=(D11,),
+            payload={"op": "ride", "driver": driver, "hours": hours, "fare": 12.0},
+        )
+
+    def test_rides_accumulate_hours_and_earnings(self):
+        application = RidesharingApplication()
+        state = StateStore()
+        application.initialize_domain(Domain(id=D11), state)
+        for number in range(1, 4):
+            result = application.execute(self._ride("alice", 2.0, number), state, D11)
+            assert result.success
+        assert state.get(driver_hours_key("alice")) == 6.0
+        assert state.get("rides:D11") == 3
+
+    def test_hour_cap_is_enforced(self):
+        application = RidesharingApplication(hour_cap=5.0)
+        state = StateStore()
+        application.initialize_domain(Domain(id=D11), state)
+        assert application.execute(self._ride("bob", 4.0, 1), state, D11).success
+        refused = application.execute(self._ride("bob", 2.0, 2), state, D11)
+        assert not refused.success
+        assert state.get(driver_hours_key("bob")) == 4.0
+
+    def test_abstraction_forwards_hours_not_earnings(self):
+        application = RidesharingApplication()
+        abstract = application.abstraction()({
+            driver_hours_key("alice"): 6.0,
+            "earnings:alice": 72.0,
+            "rides:D11": 3,
+        })
+        assert driver_hours_key("alice") in abstract
+        assert "earnings:alice" not in abstract
+
+    def test_regulation_query_over_summarized_view(self):
+        from repro.ledger.abstraction import SummarizedView
+
+        application = RidesharingApplication(hour_cap=40.0)
+        view = SummarizedView(DomainId(2, 1))
+        view.merge_delta(D11, {driver_hours_key("alice"): 38.0}, 1)
+        view.merge_delta(D12, {driver_hours_key("alice"): 44.0}, 1)
+        over = application.drivers_over_cap(view)
+        assert "alice" in over
+
+
+class TestKeyValueApplication:
+    def test_put_and_get(self):
+        application = KeyValueApplication()
+        state = StateStore()
+        put = Transaction(
+            tid=TransactionId(number=1),
+            kind=TransactionKind.INTERNAL,
+            involved_domains=(D11,),
+            payload={"op": "put", "key": "k", "value": 3},
+        )
+        get = Transaction(
+            tid=TransactionId(number=2),
+            kind=TransactionKind.INTERNAL,
+            involved_domains=(D11,),
+            payload={"op": "get", "key": "k"},
+        )
+        assert application.execute(put, state, D11).success
+        assert application.execute(get, state, D11).result == {"value": 3}
