@@ -7,30 +7,26 @@ testbed); the assertions check the *shape*: which system wins, how contention
 degrades the optimistic protocol, how mobility and domain size affect
 throughput.  Benchmarks run each figure exactly once (``pedantic`` with one
 round) because a figure is itself an aggregate over many simulated runs.
+
+Everything here runs through :mod:`repro.scenarios`: each figure is a
+declarative base :class:`~repro.scenarios.Scenario`, the system series are
+derived with :func:`repro.scenarios.registry.series_scenarios`, and the load
+sweeps go through :class:`~repro.scenarios.ScenarioRunner`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.experiment import (
-    BASELINE_AHL,
-    BASELINE_SHARPER,
-    ExperimentConfig,
-    ExperimentRunner,
-    LoadPoint,
-    SAGUARO_COORDINATOR,
-    SAGUARO_OPTIMISTIC,
-    SystemVariant,
-    paper_cross_domain_variants,
-)
+from repro.analysis.experiment import SystemVariant, paper_cross_domain_variants
 from repro.analysis.metrics import PerformanceSummary
 from repro.analysis.reporting import (
     format_mobile_table,
     format_series_table,
     peak_throughput,
 )
-from repro.common.types import FailureModel
+from repro.common.types import FailureModel, domain_size_for_failures
+from repro.scenarios import LoadPoint, Scenario, ScenarioRunner, registry
 
 __all__ = [
     "LOAD_LEVELS",
@@ -44,10 +40,7 @@ __all__ = [
 #: Concurrent-client counts used to sweep each throughput/latency curve.
 LOAD_LEVELS: Sequence[int] = (8, 32)
 
-#: Workload size per point — small enough to keep the whole harness fast,
-#: large enough to span several lazy-propagation rounds.
-_TRANSACTIONS = 144
-_TRANSACTIONS_BFT = 112
+_RUNNER = ScenarioRunner()
 
 
 def _base_config(
@@ -57,23 +50,34 @@ def _base_config(
     mobile_ratio: float = 0.0,
     faults: int = 1,
     seed: int = 2023,
-) -> ExperimentConfig:
-    return ExperimentConfig(
-        latency_profile=latency_profile,
-        failure_model=failure_model,
-        faults=faults,
-        num_transactions=(
-            _TRANSACTIONS if failure_model is FailureModel.CRASH else _TRANSACTIONS_BFT
-        ),
-        cross_domain_ratio=cross_domain_ratio,
+) -> Scenario:
+    """The base scenario one figure panel sweeps (engine = coordinator).
+
+    Delegates to :func:`repro.scenarios.registry.figure_base` so the figure
+    parameters (workload sizes, round interval) have a single source of truth.
+    """
+    return registry.figure_base(
+        "figure",
+        failure_model,
+        latency_profile,
+        cross_domain_ratio,
         mobile_ratio=mobile_ratio,
-        round_interval_ms=10.0,
-        seed=seed,
-    )
+        faults=faults,
+    ).with_overrides(seed=seed)
 
 
-def run_once(config: ExperimentConfig, variant: SystemVariant) -> PerformanceSummary:
-    return ExperimentRunner(config).run(variant)
+def _for_variant(base: Scenario, variant: SystemVariant) -> Scenario:
+    series = ((variant.label, variant.engine, variant.contention_override),)
+    return registry.series_scenarios(base, series)[variant.label]
+
+
+def run_once(
+    scenario: Scenario, variant: Optional[SystemVariant] = None
+) -> PerformanceSummary:
+    """Run one scenario (optionally specialised to a system variant) once."""
+    if variant is not None:
+        scenario = _for_variant(scenario, variant)
+    return _RUNNER.run(scenario)[0].summary
 
 
 def cross_domain_figure(
@@ -86,13 +90,17 @@ def cross_domain_figure(
     faults: int = 1,
 ) -> Dict[str, List[LoadPoint]]:
     """One sub-figure of Figures 7, 8, 10, 12 or 13: six system series."""
-    config = _base_config(
+    base = _base_config(
         failure_model, latency_profile, cross_domain_ratio, faults=faults
     )
-    runner = ExperimentRunner(config)
+    if variants is not None:
+        scenarios = {v.label: _for_variant(base, v) for v in variants}
+    else:
+        scenarios = registry.series_scenarios(base)
     series: Dict[str, List[LoadPoint]] = {}
-    for variant in variants or paper_cross_domain_variants():
-        series[variant.label] = runner.sweep(variant, load_levels)
+    for label, scenario in scenarios.items():
+        sweep = _RUNNER.sweep(scenario, over="num_clients", values=load_levels)
+        series[label] = sweep.load_points()
     print()
     print(format_series_table(series, title))
     return series
@@ -106,13 +114,14 @@ def mobile_figure(
     num_clients: int = 24,
 ) -> Dict[str, PerformanceSummary]:
     """Figures 9 and 11: Saguaro throughput under increasing device mobility."""
-    results: Dict[str, PerformanceSummary] = {}
-    for ratio in mobile_ratios:
-        config = _base_config(
-            failure_model, latency_profile, cross_domain_ratio=0.0, mobile_ratio=ratio
-        ).with_clients(num_clients)
-        summary = run_once(config, SystemVariant("Saguaro", SAGUARO_COORDINATOR))
-        results[f"{int(ratio * 100)}% mobile"] = summary
+    base = _base_config(
+        failure_model, latency_profile, cross_domain_ratio=0.0
+    ).with_clients(num_clients)
+    sweep = _RUNNER.sweep(base, over="mobile_ratio", values=list(mobile_ratios))
+    results: Dict[str, PerformanceSummary] = {
+        f"{int(ratio * 100)}% mobile": bucket[0].summary
+        for ratio, bucket in sweep.grouped("mobile_ratio").items()
+    }
     print()
     print(format_mobile_table(results, title))
     return results
@@ -125,28 +134,18 @@ def scalability_figure(
     load: int = 24,
 ) -> Dict[str, Dict[str, PerformanceSummary]]:
     """Figures 12 and 13: impact of domain size (|p|) on every protocol."""
-    variants = [
-        SystemVariant("AHL", BASELINE_AHL),
-        SystemVariant("SharPer", BASELINE_SHARPER),
-        SystemVariant("Coordinator", SAGUARO_COORDINATOR),
-        SystemVariant("Optimistic", SAGUARO_OPTIMISTIC),
-    ]
-    replication = 2 if failure_model is FailureModel.CRASH else 3
     results: Dict[str, Dict[str, PerformanceSummary]] = {}
     print()
     print(title)
     print("-" * len(title))
+    base = _base_config(failure_model, "lan", cross_domain_ratio=0.10).with_clients(load)
     for faults in faults_levels:
-        domain_size = replication * faults + 1
-        config = _base_config(
-            failure_model,
-            "lan",
-            cross_domain_ratio=0.10,
-            faults=faults,
-        ).with_clients(load)
+        domain_size = domain_size_for_failures(faults, failure_model)
         row: Dict[str, PerformanceSummary] = {}
-        for variant in variants:
-            row[variant.label] = run_once(config, variant)
+        for label, scenario in registry.series_scenarios(
+            base.with_overrides(faults=faults), registry.SCALABILITY_SERIES
+        ).items():
+            row[label] = run_once(scenario)
         results[f"|p|={domain_size}"] = row
         rendered = "  ".join(
             f"{label}: {summary.throughput_tps:8.1f} tps" for label, summary in row.items()

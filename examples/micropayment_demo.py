@@ -2,41 +2,50 @@
 
 The scenario of §2: payments within one spatial domain commit locally, while
 payments whose sender and recipient live in different spatial domains need
-cross-domain consensus.  The demo runs the same workload twice — once with the
-coordinator-based protocol and once with the optimistic protocol — and prints
-the latency/throughput difference plus the abort behaviour under contention.
+cross-domain consensus.  The demo derives four scenarios from one declarative
+base spec — coordinator and optimistic, each at low and high contention — and
+prints the latency/throughput difference plus the abort behaviour.
 
 Run with::
 
     python examples/micropayment_demo.py
 """
 
-from repro import CrossDomainProtocol
-from repro.analysis.experiment import (
-    ExperimentConfig,
-    ExperimentRunner,
+from typing import Mapping, Optional
+
+from repro.analysis.reporting import format_summary_row
+from repro.scenarios import (
     SAGUARO_COORDINATOR,
     SAGUARO_OPTIMISTIC,
-    SystemVariant,
+    Scenario,
+    ScenarioRunner,
 )
-from repro.analysis.reporting import format_summary_row
 
 
-def run_protocol(label: str, engine: str, contention: float) -> None:
-    config = ExperimentConfig(
-        num_transactions=240,
-        num_clients=16,
-        cross_domain_ratio=0.8,
-        contention_ratio=contention,
-        latency_profile="nearby-eu",
-        round_interval_ms=10.0,
+def build_scenario() -> Scenario:
+    return (
+        Scenario.build()
+        .name("micropayment-demo")
+        .latency("nearby-eu")
+        .application("micropayment")
+        .workload(num_transactions=240, cross_domain_ratio=0.8)
+        .clients(16)
+        .rounds(10.0)
+        .finish()
     )
-    runner = ExperimentRunner(config)
-    summary = runner.run(SystemVariant(label=label, engine=engine))
-    print(format_summary_row(label, summary))
 
 
-def main() -> None:
+def main(overrides: Optional[Mapping[str, object]] = None) -> None:
+    base = build_scenario()
+    if overrides:
+        base = base.with_overrides(**overrides)
+    runner = ScenarioRunner()
+
+    def run_protocol(label: str, engine: str, contention: float) -> None:
+        scenario = base.with_overrides(engine=engine, contention_ratio=contention)
+        summary = runner.run(scenario)[0].summary
+        print(format_summary_row(label, summary))
+
     print("80% cross-domain micropayments over the nearby-EU deployment\n")
     print("Low contention (10% read-write conflicts):")
     run_protocol("Coordinator", SAGUARO_COORDINATOR, contention=0.1)

@@ -1,53 +1,65 @@
-"""Quickstart: build the paper's Figure-1 deployment and run a small workload.
+"""Quickstart: describe the paper's Figure-1 experiment as one declarative
+scenario, run it, and inspect the results.
+
+A :class:`repro.scenarios.Scenario` is plain, serialisable data — the same
+spec can be stored as JSON, swept over a grid, or replayed bit-for-bit.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    DeploymentConfig,
-    MicropaymentApplication,
-    SaguaroDeployment,
-    WorkloadConfig,
-    WorkloadGenerator,
-)
-from repro.topology import build_tree, placement_for_profile
+from typing import Mapping, Optional
+
+from repro.scenarios import Scenario, ScenarioRunner
 
 
-def main() -> None:
-    # 1. Describe the deployment: a four-level edge network (edge devices,
-    #    edge servers, fog servers, cloud) over the four nearby EU regions.
-    config = DeploymentConfig(latency_profile="nearby-eu")
-    hierarchy = build_tree(config.hierarchy)
-    placement_for_profile(hierarchy, config.latency_profile)
-    print("Deployment topology:")
-    print(hierarchy.describe())
-
-    # 2. Generate a micropayment workload: 80% internal, 20% cross-domain.
-    workload_config = WorkloadConfig(num_transactions=200, cross_domain_ratio=0.2)
-    workload = WorkloadGenerator(hierarchy, workload_config, num_clients=8).generate()
-    print("\nWorkload mix:", {k.value: v for k, v in workload.kind_counts().items()})
-
-    # 3. Attach the micropayment application and register the edge devices.
-    application = MicropaymentApplication(
-        accounts_per_domain=workload_config.accounts_per_domain
+def build_scenario() -> Scenario:
+    # One spec covers deployment, topology, application, workload and seeds:
+    # a four-level edge network (edge devices, edge servers, fog servers,
+    # cloud) over the four nearby EU regions, running 200 micropayments of
+    # which 20% cross domain boundaries.
+    return (
+        Scenario.build()
+        .name("quickstart")
+        .topology(levels=4, branching=2)
+        .latency("nearby-eu")
+        .application("micropayment")
+        .workload(num_transactions=200, cross_domain_ratio=0.2)
+        .clients(8)
+        .finish()
     )
-    workload.configure_application(application)
 
-    # 4. Run and report.
-    deployment = SaguaroDeployment(config, application, hierarchy)
-    summary = deployment.run_workload(workload.transactions)
+
+def main(overrides: Optional[Mapping[str, object]] = None) -> None:
+    scenario = build_scenario()
+    if overrides:
+        scenario = scenario.with_overrides(**overrides)
+
+    # The spec is data: it round-trips through JSON unchanged.
+    assert Scenario.from_dict(scenario.to_dict()) == scenario
+    print(scenario.describe())
+
+    # Run it.  `execute` returns the live run so the deployment's ledgers and
+    # summarized views stay inspectable after the workload finishes.
+    run = ScenarioRunner().execute(scenario)
+    print("\nDeployment topology:")
+    print(run.deployment.hierarchy.describe())
+    print("\nWorkload mix:", {k.value: v for k, v in run.workload.kind_counts().items()})
+
     print("\nRun summary:")
-    for key, value in summary.as_dict().items():
+    for key, value in run.summary.as_dict().items():
         print(f"  {key:>18}: {value}")
 
-    # 5. The hierarchy gives you aggregation for free: the root's summarized
-    #    view knows the total exchanged volume without holding any balance.
-    total_volume = deployment.root_summary().aggregate_sum("volume:")
+    # The hierarchy gives you aggregation for free: the root's summarized
+    # view knows the total exchanged volume without holding any balance.
+    total_volume = run.deployment.root_summary().aggregate_sum("volume:")
     print(f"\nTotal exchanged assets visible at the root domain: {total_volume:.0f}")
-    d11 = hierarchy.height1_domains()[0]
-    print(f"Ledger length of {d11.name}: {len(deployment.ledger_of(d11.id))} transactions")
+    d11 = run.deployment.hierarchy.height1_domains()[0]
+    print(
+        f"Ledger length of {d11.name}: "
+        f"{len(run.deployment.ledger_of(d11.id))} transactions"
+    )
 
 
 if __name__ == "__main__":

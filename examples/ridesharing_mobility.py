@@ -1,86 +1,71 @@
 """Accountable ridesharing with mobile drivers (§2, §7).
 
-A driver registered in one spatial domain temporarily gives rides in another.
-Mobile consensus transfers the driver's state (working hours, earnings) to the
+Drivers registered in one spatial domain temporarily give rides in another.
+Mobile consensus transfers a driver's state (working hours, earnings) to the
 remote domain in one round, the remote domain processes the rides locally, and
 the hierarchy aggregates working hours so a global regulation (the 40-hour
 cap) can be checked at the root without shipping individual trips.
+
+The whole experiment is one declarative scenario: the ``rides`` workload style
+generates ride transactions, ``mobile_ratio=0.5`` makes half the drivers give
+their rides while visiting a remote domain, and the ridesharing application
+executes them.
 
 Run with::
 
     python examples/ridesharing_mobility.py
 """
 
-from repro.common import DeploymentConfig, RoundConfig
-from repro.common.types import ClientId, DomainId, TransactionId, TransactionKind
-from repro.core import SaguaroDeployment
-from repro.ledger.transaction import Transaction
-from repro.topology import build_tree, placement_for_profile
-from repro.workloads.ridesharing import RidesharingApplication, driver_hours_key
+from typing import Mapping, Optional
 
-HOME_LEAF = DomainId(0, 1)
-HOME_DOMAIN = DomainId(1, 1)
-REMOTE_DOMAIN = DomainId(1, 3)
-DRIVER = ClientId(home=HOME_LEAF, index=1)
+from repro.scenarios import Scenario, ScenarioRunner
 
 
-def _ride(number: int, domain: DomainId, hours: float, kind=TransactionKind.INTERNAL):
-    payload = {"op": "ride", "driver": DRIVER.name, "hours": hours, "fare": 14.0}
-    keys = (driver_hours_key(DRIVER.name),)
-    if kind is TransactionKind.MOBILE:
-        return Transaction(
-            tid=TransactionId(number=number, origin=DRIVER),
-            kind=kind,
-            involved_domains=(domain,),
-            payload=payload,
-            read_keys=keys,
-            write_keys=keys,
-            client=DRIVER,
-            home_domain=HOME_DOMAIN,
-            remote_domain=domain,
+def build_scenario() -> Scenario:
+    # Two drivers, sixteen rides of two hours each.  One driver is mobile and
+    # works an excursion of eight rides in a remote domain before returning.
+    return (
+        Scenario.build()
+        .name("ridesharing")
+        .latency("nearby-eu")
+        .application("ridesharing", hour_cap=40.0)
+        .workload(
+            style="rides",
+            num_transactions=16,
+            mobile_ratio=0.5,
+            mobile_txns_per_excursion=8,
+            ride_hours=2.0,
+            ride_fare=14.0,
         )
-    return Transaction(
-        tid=TransactionId(number=number, origin=DRIVER),
-        kind=kind,
-        involved_domains=(domain,),
-        payload=payload,
-        read_keys=keys,
-        write_keys=keys,
-        client=DRIVER,
+        .clients(2)
+        .rounds(10.0)
+        .limits(drain_ms=500.0)
+        .finish()
     )
 
 
-def main() -> None:
-    config = DeploymentConfig(
-        latency_profile="nearby-eu", rounds=RoundConfig(height1_interval_ms=10.0)
-    )
-    hierarchy = build_tree(config.hierarchy)
-    placement_for_profile(hierarchy, config.latency_profile)
-    application = RidesharingApplication()
-    application.register_client(DRIVER, HOME_DOMAIN)
-    deployment = SaguaroDeployment(config, application, hierarchy)
+def main(overrides: Optional[Mapping[str, object]] = None) -> None:
+    scenario = build_scenario()
+    if overrides:
+        scenario = scenario.with_overrides(**overrides)
+    print(scenario.describe())
 
-    # Morning shift at home, afternoon shift while visiting another city.
-    home_rides = [_ride(n, HOME_DOMAIN, hours=2.0) for n in range(1, 6)]
-    away_rides = [
-        _ride(n, REMOTE_DOMAIN, hours=2.5, kind=TransactionKind.MOBILE)
-        for n in range(6, 16)
-    ]
-    summary = deployment.run_workload(home_rides + away_rides, drain_ms=500.0)
+    run = ScenarioRunner().execute(scenario)
+    print("\nRun summary:", run.summary.as_dict())
 
-    print("Run summary:", summary.as_dict())
-    remote_state = deployment.state_of(REMOTE_DOMAIN)
-    print(
-        f"\nDriver hours recorded in the remote domain {REMOTE_DOMAIN.name}: "
-        f"{remote_state.get(driver_hours_key(DRIVER.name)):.1f}"
-    )
-
-    root_view = deployment.root_summary()
+    application = run.deployment.application
+    root_view = run.deployment.root_summary()
     totals = application.total_hours_by_driver(root_view)
-    print(f"Aggregated working hours at the root: {totals}")
+    homes = {client.name: domain for client, domain in run.workload.clients.items()}
+    print("\nAggregated working hours at the root:")
+    for driver, hours in sorted(totals.items()):
+        home = homes.get(driver)
+        where = f" (home {home.name})" if home is not None else ""
+        print(f"  {driver}{where}: {hours:.1f} h")
+
     over_cap = application.drivers_over_cap(root_view)
     if over_cap:
-        print(f"Drivers over the {application._hour_cap:.0f}h weekly cap: {over_cap}")
+        print(f"Drivers over the weekly cap: {over_cap}")
     else:
         print("No driver exceeds the weekly cap — regulation satisfied.")
 

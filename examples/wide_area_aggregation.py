@@ -2,47 +2,60 @@
 
 Reproduces the flavour of §8.3: domains spread over Tokyo, Hong Kong,
 Virginia, Ohio (edges), Seoul and Oregon (fog), and California (root), with a
-90%-internal / 10%-cross-domain micropayment workload.  Prints one summary row
-per system so the effect of coordinator placement over long links is visible.
+90%-internal / 10%-cross-domain micropayment workload.  One declarative base
+scenario is specialised per system engine, so the whole comparison is a
+four-entry sweep; the effect of coordinator placement over long links shows in
+the summary rows.
 
 Run with::
 
     python examples/wide_area_aggregation.py
 """
 
-from repro.analysis.experiment import (
-    ExperimentConfig,
-    ExperimentRunner,
-    SystemVariant,
+from typing import Mapping, Optional
+
+from repro.analysis.reporting import format_summary_row
+from repro.scenarios import (
     BASELINE_AHL,
     BASELINE_SHARPER,
     SAGUARO_COORDINATOR,
     SAGUARO_OPTIMISTIC,
+    Scenario,
+    ScenarioRunner,
 )
-from repro.analysis.reporting import format_summary_row
 
 
-def main() -> None:
-    config = ExperimentConfig(
-        latency_profile="wide-area",
-        num_transactions=200,
-        num_clients=16,
-        cross_domain_ratio=0.10,
-        contention_ratio=0.10,
-        round_interval_ms=20.0,
+def build_scenario() -> Scenario:
+    return (
+        Scenario.build()
+        .name("wide-area")
+        .latency("wide-area")
+        .application("micropayment")
+        .workload(num_transactions=200, cross_domain_ratio=0.10, contention_ratio=0.10)
+        .clients(16)
+        .rounds(20.0)
+        .finish()
     )
-    runner = ExperimentRunner(config)
-    variants = [
-        SystemVariant("AHL", BASELINE_AHL),
-        SystemVariant("SharPer", BASELINE_SHARPER),
-        SystemVariant("Coordinator", SAGUARO_COORDINATOR),
-        SystemVariant("Optimistic", SAGUARO_OPTIMISTIC),
+
+
+def main(overrides: Optional[Mapping[str, object]] = None) -> None:
+    base = build_scenario()
+    if overrides:
+        base = base.with_overrides(**overrides)
+    runner = ScenarioRunner()
+    engines = [
+        ("AHL", BASELINE_AHL),
+        ("SharPer", BASELINE_SHARPER),
+        ("Coordinator", SAGUARO_COORDINATOR),
+        ("Optimistic", SAGUARO_OPTIMISTIC),
     ]
     print("Wide-area deployment (TY/HK/VA/OH edges, SU/OR fog, CA root)")
     print("Workload: 90% internal, 10% cross-domain micropayments\n")
-    for variant in variants:
-        summary = runner.run(variant)
-        print(format_summary_row(variant.label, summary))
+    sweep = runner.sweep(base, over="engine", values=[engine for _, engine in engines])
+    by_engine = sweep.grouped("engine")
+    for label, engine in engines:
+        summary = by_engine[engine][0].summary
+        print(format_summary_row(label, summary))
     print(
         "\nSaguaro's coordinator is the lowest common ancestor of the involved "
         "domains, so cross-domain traffic stays on the shortest wide-area paths; "

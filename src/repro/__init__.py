@@ -11,6 +11,10 @@ state-transfer protocol.
 
 The public entry points most users need:
 
+* :class:`repro.scenarios.Scenario` / :class:`repro.scenarios.ScenarioRunner`
+  — describe a whole experiment as one serialisable spec, then run or sweep
+  it (the recommended entry point; ``repro.scenarios.registry`` holds the
+  paper's Figure 7–13 setups).
 * :class:`repro.core.SaguaroDeployment` — build and run a simulated deployment.
 * :class:`repro.common.DeploymentConfig` / :class:`repro.common.WorkloadConfig`
   — describe the deployment and the workload.
@@ -30,6 +34,15 @@ from repro.common import (
     WorkloadConfig,
 )
 from repro.core import SaguaroDeployment
+from repro.scenarios import (
+    FaultEvent,
+    ResultSet,
+    RunResult,
+    Scenario,
+    ScenarioRunner,
+    TopologySpec,
+    WorkloadSpec,
+)
 from repro.workloads import (
     MicropaymentApplication,
     RidesharingApplication,
@@ -37,7 +50,7 @@ from repro.workloads import (
     WorkloadGenerator,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CrossDomainProtocol",
@@ -49,6 +62,13 @@ __all__ = [
     "TimerConfig",
     "WorkloadConfig",
     "SaguaroDeployment",
+    "Scenario",
+    "ScenarioRunner",
+    "RunResult",
+    "ResultSet",
+    "TopologySpec",
+    "WorkloadSpec",
+    "FaultEvent",
     "MicropaymentApplication",
     "RidesharingApplication",
     "Workload",

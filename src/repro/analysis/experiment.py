@@ -1,37 +1,39 @@
-"""Experiment harness: build a system variant, run a workload, sweep load.
+"""Legacy experiment harness — now a thin adapter over :mod:`repro.scenarios`.
 
 The paper's evaluation plots throughput-versus-latency curves obtained by
 "using an increasing number of requests until the end-to-end throughput is
-saturated" (§8).  The harness reproduces that methodology: offered load is
-controlled by the number of concurrent closed-loop clients, and each load
-level yields one (throughput, latency) point.  The same harness drives the
-Saguaro coordinator-based and optimistic protocols, the mobile-consensus
-workloads, and the AHL / SharPer baselines, so every figure's series are
-produced by identical machinery.
+saturated" (§8).  That methodology now lives in the declarative scenario
+layer: a :class:`~repro.scenarios.Scenario` describes one experiment and
+:class:`~repro.scenarios.ScenarioRunner` executes it or sweeps a grid.
+
+:class:`ExperimentConfig` and :class:`ExperimentRunner` are kept as
+deprecated shims so existing callers keep working; internally every call is
+translated into a scenario via :func:`scenario_from_config`, which guarantees
+both paths produce bit-identical results.  New code should use
+``repro.scenarios`` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import PerformanceSummary
-from repro.baselines.deployment import AHL, SHARPER, BaselineDeployment
-from repro.common.config import (
-    DeploymentConfig,
-    DomainSpec,
-    HierarchySpec,
-    RoundConfig,
-    TimerConfig,
-    WorkloadConfig,
-)
+from repro.common.config import DeploymentConfig, DomainSpec, WorkloadConfig
 from repro.common.types import CrossDomainProtocol, FailureModel
-from repro.core.system import SaguaroDeployment
 from repro.errors import ExperimentError
-from repro.topology.builders import build_flat_domains, build_tree
-from repro.topology.regions import placement_for_profile
-from repro.workloads.generator import WorkloadGenerator
-from repro.workloads.micropayment import MicropaymentApplication
+from repro.scenarios.runner import LoadPoint, materialize
+from repro.scenarios.spec import (
+    BASELINE_AHL,
+    BASELINE_SHARPER,
+    ENGINES as _ENGINES,
+    SAGUARO_COORDINATOR,
+    SAGUARO_OPTIMISTIC,
+    Scenario,
+    TopologySpec,
+    WorkloadSpec,
+)
 
 __all__ = [
     "SystemVariant",
@@ -43,19 +45,13 @@ __all__ = [
     "BASELINE_AHL",
     "BASELINE_SHARPER",
     "paper_cross_domain_variants",
+    "scenario_from_config",
 ]
 
 
 # ---------------------------------------------------------------------------
 # System variants
 # ---------------------------------------------------------------------------
-
-SAGUARO_COORDINATOR = "saguaro-coordinator"
-SAGUARO_OPTIMISTIC = "saguaro-optimistic"
-BASELINE_AHL = "baseline-ahl"
-BASELINE_SHARPER = "baseline-sharper"
-
-_ENGINES = (SAGUARO_COORDINATOR, SAGUARO_OPTIMISTIC, BASELINE_AHL, BASELINE_SHARPER)
 
 
 @dataclass(frozen=True)
@@ -90,13 +86,17 @@ def paper_cross_domain_variants() -> List[SystemVariant]:
 
 
 # ---------------------------------------------------------------------------
-# Experiment configuration and results
+# Experiment configuration
 # ---------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Everything one experiment point needs besides the system variant."""
+    """Everything one experiment point needs besides the system variant.
+
+    Deprecated: this is a flat ancestor of :class:`repro.scenarios.Scenario`;
+    use the scenario API for new code.
+    """
 
     latency_profile: str = "nearby-eu"
     failure_model: FailureModel = FailureModel.CRASH
@@ -117,33 +117,59 @@ class ExperimentConfig:
         return replace(self, num_clients=num_clients)
 
 
-@dataclass(frozen=True)
-class LoadPoint:
-    """One point of a throughput-versus-latency curve."""
-
-    clients: int
-    throughput_tps: float
-    avg_latency_ms: float
-    p95_latency_ms: float
-    abort_rate: float
-    summary: PerformanceSummary
-
-    def as_tuple(self) -> Tuple[float, float]:
-        return (self.throughput_tps, self.avg_latency_ms)
+def scenario_from_config(
+    config: ExperimentConfig, variant: Optional[SystemVariant] = None
+) -> Scenario:
+    """Translate a legacy (config, variant) pair into a declarative scenario."""
+    engine = variant.engine if variant is not None else SAGUARO_COORDINATOR
+    contention = config.contention_ratio
+    if variant is not None and variant.contention_override is not None:
+        contention = variant.contention_override
+    name = variant.label if variant is not None and variant.label else "experiment"
+    return Scenario(
+        name=name,
+        engine=engine,
+        topology=TopologySpec(
+            failure_model=config.failure_model, faults=config.faults
+        ),
+        workload=WorkloadSpec(
+            num_transactions=config.num_transactions,
+            cross_domain_ratio=config.cross_domain_ratio,
+            contention_ratio=contention,
+            mobile_ratio=config.mobile_ratio,
+            hot_accounts_per_domain=config.hot_accounts_per_domain,
+            accounts_per_domain=config.accounts_per_domain,
+            mobile_txns_per_excursion=config.mobile_txns_per_excursion,
+        ),
+        num_clients=config.num_clients,
+        seeds=(config.seed,),
+        latency_profile=config.latency_profile,
+        round_interval_ms=config.round_interval_ms,
+        think_time_ms=config.think_time_ms,
+    )
 
 
 # ---------------------------------------------------------------------------
-# Runner
+# Runner (deprecated shim)
 # ---------------------------------------------------------------------------
 
 
 class ExperimentRunner:
-    """Builds deployments for system variants and runs workloads against them."""
+    """Deprecated adapter: builds scenarios for system variants and runs them."""
 
     def __init__(self, config: ExperimentConfig) -> None:
+        warnings.warn(
+            "ExperimentRunner is deprecated; build a repro.scenarios.Scenario "
+            "and run it with repro.scenarios.ScenarioRunner instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.config = config
 
     # -- building blocks -----------------------------------------------------------
+
+    def _scenario(self, variant: SystemVariant) -> Scenario:
+        return scenario_from_config(self.config, variant)
 
     def _domain_spec(self) -> DomainSpec:
         return DomainSpec(
@@ -151,78 +177,27 @@ class ExperimentRunner:
         )
 
     def _deployment_config(self, protocol: CrossDomainProtocol) -> DeploymentConfig:
-        return DeploymentConfig(
-            hierarchy=HierarchySpec(default_spec=self._domain_spec()),
-            protocol=protocol,
-            latency_profile=self.config.latency_profile,
-            rounds=RoundConfig(height1_interval_ms=self.config.round_interval_ms),
-            timers=TimerConfig(),
-            seed=self.config.seed,
+        engine = (
+            SAGUARO_OPTIMISTIC
+            if protocol is CrossDomainProtocol.OPTIMISTIC
+            else SAGUARO_COORDINATOR
         )
+        scenario = scenario_from_config(self.config).with_engine(engine)
+        return scenario.deployment_config(self.config.seed)
 
     def _workload_config(self, variant: SystemVariant) -> WorkloadConfig:
-        contention = (
-            variant.contention_override
-            if variant.contention_override is not None
-            else self.config.contention_ratio
-        )
-        return WorkloadConfig(
-            num_transactions=self.config.num_transactions,
-            cross_domain_ratio=self.config.cross_domain_ratio,
-            contention_ratio=contention,
-            mobile_ratio=self.config.mobile_ratio,
-            accounts_per_domain=self.config.accounts_per_domain,
-            hot_accounts_per_domain=self.config.hot_accounts_per_domain,
-            mobile_txns_per_excursion=self.config.mobile_txns_per_excursion,
-            seed=self.config.seed,
-        )
+        return self._scenario(variant).workload.to_workload_config(self.config.seed)
 
     def _deployment_config_for(self, variant: SystemVariant) -> DeploymentConfig:
-        if variant.engine == SAGUARO_OPTIMISTIC:
-            return self._deployment_config(CrossDomainProtocol.OPTIMISTIC)
-        return self._deployment_config(CrossDomainProtocol.COORDINATOR)
+        return self._scenario(variant).deployment_config(self.config.seed)
 
     def _build_hierarchy(self, variant: SystemVariant, config: DeploymentConfig):
-        if variant.engine in (BASELINE_AHL, BASELINE_SHARPER):
-            hierarchy = build_flat_domains(
-                config.hierarchy.num_height1_domains, self._domain_spec()
-            )
-        else:
-            hierarchy = build_tree(config.hierarchy)
-        return placement_for_profile(hierarchy, self.config.latency_profile)
+        return self._scenario(variant).build_hierarchy()
 
     def prepare(self, variant: SystemVariant):
-        """Build the deployment and workload for ``variant`` without running.
-
-        The workload is generated (and its clients registered with the
-        application) *before* the deployment instantiates nodes, so that every
-        mobile device's personal account exists in its home domain's state.
-        """
-        deployment_config = self._deployment_config_for(variant)
-        hierarchy = self._build_hierarchy(variant, deployment_config)
-        workload_config = self._workload_config(variant)
-        workload = WorkloadGenerator(
-            hierarchy, workload_config, num_clients=self.config.num_clients
-        ).generate()
-        application = MicropaymentApplication(
-            accounts_per_domain=self.config.accounts_per_domain
-        )
-        workload.configure_application(application)
-        if variant.engine in (BASELINE_AHL, BASELINE_SHARPER):
-            system = AHL if variant.engine == BASELINE_AHL else SHARPER
-            deployment = BaselineDeployment(
-                system=system,
-                config=deployment_config,
-                application=application,
-                hierarchy=hierarchy,
-            )
-        else:
-            deployment = SaguaroDeployment(
-                config=deployment_config,
-                application=application,
-                hierarchy=hierarchy,
-            )
-        return deployment, workload
+        """Build the deployment and workload for ``variant`` without running."""
+        run = materialize(self._scenario(variant))
+        return run.deployment, run.workload
 
     def build_deployment(self, variant: SystemVariant):
         """Construct just the deployment for ``variant`` (tests, examples)."""
@@ -233,22 +208,13 @@ class ExperimentRunner:
 
     def run(self, variant: SystemVariant) -> PerformanceSummary:
         """Run one (variant, load) point and return its summary."""
-        deployment, workload = self.prepare(variant)
-        return deployment.run_workload(
-            workload.transactions, think_time_ms=self.config.think_time_ms
-        )
+        return materialize(self._scenario(variant)).run().summary
 
     def run_point(self, variant: SystemVariant, num_clients: int) -> LoadPoint:
-        runner = ExperimentRunner(self.config.with_clients(num_clients))
-        summary = runner.run(variant)
-        return LoadPoint(
-            clients=num_clients,
-            throughput_tps=summary.throughput_tps,
-            avg_latency_ms=summary.avg_latency_ms,
-            p95_latency_ms=summary.p95_latency_ms,
-            abort_rate=summary.abort_rate,
-            summary=summary,
+        scenario = scenario_from_config(
+            self.config.with_clients(num_clients), variant
         )
+        return materialize(scenario).run().as_load_point()
 
     def sweep(
         self, variant: SystemVariant, client_counts: Sequence[int]

@@ -67,6 +67,7 @@ class SaguaroDeployment:
         self.nodes: Dict[str, SaguaroNode] = {}
         self.clients: Dict[str, EdgeDeviceClient] = {}
         self._started = False
+        self._workload_ran = False
         self._build_nodes()
 
     # ------------------------------------------------------------------ construction
@@ -194,7 +195,25 @@ class SaguaroDeployment:
         simulated-time backstop is hit), then continues for ``drain_ms`` so
         that lazy propagation and optimistic decisions settle before round
         timers are stopped and the summary is computed.
+
+        A deployment is single-shot: one workload per instance.  Re-running
+        would reuse drained clients, advanced ledgers, and a non-zero clock,
+        so the results would be meaningless.
         """
+        if self._workload_ran:
+            raise ConfigurationError(
+                "run_workload() has already been called on this deployment; "
+                "a deployment is single-shot — build a fresh one per run "
+                "(repro.scenarios.ScenarioRunner does this automatically)"
+            )
+        if self.clients:
+            raise ConfigurationError(
+                f"run_workload() creates its own clients, but {len(self.clients)} "
+                "client(s) were already created via create_clients(); either "
+                "drive the simulator manually for those clients or build a "
+                "fresh deployment for run_workload()"
+            )
+        self._workload_ran = True
         self.start()
         clients = self.create_clients(transactions, think_time_ms=think_time_ms)
         for client in clients:

@@ -1,0 +1,158 @@
+"""Fluent builder for :class:`~repro.scenarios.spec.Scenario`.
+
+The builder exists so that scenario construction reads as one declarative
+sentence and fails fast with :class:`~repro.errors.ConfigurationError` on
+inconsistent input::
+
+    scenario = (
+        Scenario.build()
+        .name("quickstart")
+        .engine(SAGUARO_COORDINATOR)
+        .topology(levels=4, branching=2)
+        .application("micropayment")
+        .workload(num_transactions=200, cross_domain_ratio=0.2)
+        .clients(8)
+        .latency("nearby-eu")
+        .replicate(seeds=3)
+        .finish()
+    )
+
+Every method returns the builder; :meth:`ScenarioBuilder.finish` produces the
+frozen spec (and is aliased as ``build()``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.common.config import TimerConfig
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import (
+    ApplicationSpec,
+    FaultEvent,
+    Scenario,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+__all__ = ["ScenarioBuilder"]
+
+
+class ScenarioBuilder:
+    """Accumulates scenario fields and assembles the frozen spec."""
+
+    def __init__(self) -> None:
+        self._fields: Dict[str, Any] = {}
+        self._replicate: Optional[Union[int, Sequence[int]]] = None
+
+    # ------------------------------------------------------------------ identity
+
+    def name(self, name: str) -> "ScenarioBuilder":
+        self._fields["name"] = name
+        return self
+
+    def engine(self, engine: str) -> "ScenarioBuilder":
+        self._fields["engine"] = engine
+        return self
+
+    # ------------------------------------------------------------------ structure
+
+    def topology(
+        self, spec: Optional[TopologySpec] = None, **kwargs: Any
+    ) -> "ScenarioBuilder":
+        """Set the topology, either as a spec or as :class:`TopologySpec` kwargs."""
+        if spec is not None and kwargs:
+            raise ConfigurationError("pass either a TopologySpec or kwargs, not both")
+        self._fields["topology"] = spec if spec is not None else TopologySpec(**kwargs)
+        return self
+
+    def application(
+        self, kind_or_spec: Union[str, ApplicationSpec] = "micropayment", **kwargs: Any
+    ) -> "ScenarioBuilder":
+        if isinstance(kind_or_spec, ApplicationSpec):
+            if kwargs:
+                raise ConfigurationError(
+                    "pass either an ApplicationSpec or kwargs, not both"
+                )
+            self._fields["application"] = kind_or_spec
+        else:
+            self._fields["application"] = ApplicationSpec(kind=kind_or_spec, **kwargs)
+        return self
+
+    def workload(
+        self, spec: Optional[WorkloadSpec] = None, **kwargs: Any
+    ) -> "ScenarioBuilder":
+        """Set the workload, either as a spec or as :class:`WorkloadSpec` kwargs."""
+        if spec is not None and kwargs:
+            raise ConfigurationError("pass either a WorkloadSpec or kwargs, not both")
+        self._fields["workload"] = spec if spec is not None else WorkloadSpec(**kwargs)
+        return self
+
+    def faults(self, *events: Union[FaultEvent, Dict[str, Any]]) -> "ScenarioBuilder":
+        """Set the fault schedule (``FaultEvent`` instances or their dicts)."""
+        self._fields["fault_schedule"] = tuple(
+            e if isinstance(e, FaultEvent) else FaultEvent.from_dict(e) for e in events
+        )
+        return self
+
+    # ------------------------------------------------------------------ load & timing
+
+    def clients(self, num_clients: int) -> "ScenarioBuilder":
+        self._fields["num_clients"] = num_clients
+        return self
+
+    def latency(self, profile: str) -> "ScenarioBuilder":
+        self._fields["latency_profile"] = profile
+        return self
+
+    def rounds(self, interval_ms: float) -> "ScenarioBuilder":
+        self._fields["round_interval_ms"] = interval_ms
+        return self
+
+    def timers(self, timers: Optional[TimerConfig] = None, **kwargs: Any) -> "ScenarioBuilder":
+        if timers is not None and kwargs:
+            raise ConfigurationError("pass either a TimerConfig or kwargs, not both")
+        self._fields["timers"] = timers if timers is not None else TimerConfig(**kwargs)
+        return self
+
+    def think_time(self, think_time_ms: float) -> "ScenarioBuilder":
+        self._fields["think_time_ms"] = think_time_ms
+        return self
+
+    def limits(
+        self,
+        max_simulated_ms: Optional[float] = None,
+        drain_ms: Optional[float] = None,
+    ) -> "ScenarioBuilder":
+        if max_simulated_ms is not None:
+            self._fields["max_simulated_ms"] = max_simulated_ms
+        if drain_ms is not None:
+            self._fields["drain_ms"] = drain_ms
+        return self
+
+    # ------------------------------------------------------------------ replication
+
+    def seed(self, seed: int) -> "ScenarioBuilder":
+        self._fields["seeds"] = (seed,)
+        return self
+
+    def seeds(self, seeds: Sequence[int]) -> "ScenarioBuilder":
+        self._fields["seeds"] = tuple(seeds)
+        return self
+
+    def replicate(self, seeds: Union[int, Sequence[int]] = 5) -> "ScenarioBuilder":
+        """Replicate over seeds (int = that many consecutive seeds)."""
+        self._replicate = seeds
+        return self
+
+    # ------------------------------------------------------------------ assembly
+
+    def finish(self) -> Scenario:
+        """Validate and freeze the scenario."""
+        scenario = Scenario(**self._fields)
+        if self._replicate is not None:
+            scenario = scenario.replicate(self._replicate)
+        return scenario
+
+    #: Alias so both ``Scenario.build()...finish()`` and ``...build()`` read well.
+    build = finish

@@ -1,0 +1,206 @@
+"""Named-scenario registry, pre-populated with the paper's figure setups.
+
+Every evaluation figure of the paper (§8, Figures 7–13) is registered here as
+a declarative :class:`~repro.scenarios.spec.Scenario`, so benchmarks, notebooks
+and ad-hoc runs all start from the same specs::
+
+    from repro.scenarios import ScenarioRunner, registry
+
+    scenario = registry.get("fig07a")          # 20% cross-domain, CFT, nearby EU
+    results = ScenarioRunner().sweep(scenario, over="num_clients", values=[8, 32])
+
+Multi-panel figures register one scenario per sub-figure (``fig07a`` ...
+``fig07c``); the bare figure name (``fig07``) aliases panel (a).  The figures
+that plot six system series share one base scenario per panel — derive the
+series with :func:`series_scenarios`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.types import FailureModel
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import (
+    BASELINE_AHL,
+    BASELINE_SHARPER,
+    SAGUARO_COORDINATOR,
+    SAGUARO_OPTIMISTIC,
+    Scenario,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "register",
+    "get",
+    "names",
+    "items",
+    "CROSS_DOMAIN_SERIES",
+    "SCALABILITY_SERIES",
+    "series_scenarios",
+    "figure_base",
+    "PAPER_FIGURES",
+]
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register(name: str, scenario: Scenario, overwrite: bool = False) -> Scenario:
+    """Register ``scenario`` under ``name`` and return it."""
+    if not name:
+        raise ConfigurationError("registry names must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"scenario {name!r} is already registered")
+    _REGISTRY[name] = scenario
+    return scenario
+
+
+def get(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def names() -> Tuple[str, ...]:
+    return tuple(_REGISTRY)
+
+
+def items() -> Tuple[Tuple[str, Scenario], ...]:
+    return tuple(_REGISTRY.items())
+
+
+# ---------------------------------------------------------------------------
+# Series derivation (the six lines of the cross-domain figures)
+# ---------------------------------------------------------------------------
+
+#: (label, engine, contention override) for Figures 7, 8 and 10.
+CROSS_DOMAIN_SERIES: Tuple[Tuple[str, str, Optional[float]], ...] = (
+    ("AHL", BASELINE_AHL, None),
+    ("SharPer", BASELINE_SHARPER, None),
+    ("Coordinator", SAGUARO_COORDINATOR, None),
+    ("Opt-10%C", SAGUARO_OPTIMISTIC, 0.10),
+    ("Opt-50%C", SAGUARO_OPTIMISTIC, 0.50),
+    ("Opt-90%C", SAGUARO_OPTIMISTIC, 0.90),
+)
+
+#: (label, engine, contention override) for the scalability figures 12/13.
+SCALABILITY_SERIES: Tuple[Tuple[str, str, Optional[float]], ...] = (
+    ("AHL", BASELINE_AHL, None),
+    ("SharPer", BASELINE_SHARPER, None),
+    ("Coordinator", SAGUARO_COORDINATOR, None),
+    ("Optimistic", SAGUARO_OPTIMISTIC, None),
+)
+
+
+def series_scenarios(
+    base: Scenario,
+    series: Tuple[Tuple[str, str, Optional[float]], ...] = CROSS_DOMAIN_SERIES,
+) -> Dict[str, Scenario]:
+    """Derive one scenario per figure series (label → scenario)."""
+    derived: Dict[str, Scenario] = {}
+    for label, engine, contention in series:
+        overrides: Dict[str, object] = {"engine": engine, "name": f"{base.name}/{label}"}
+        if contention is not None:
+            overrides["contention_ratio"] = contention
+        derived[label] = base.with_overrides(**overrides)
+    return derived
+
+
+# ---------------------------------------------------------------------------
+# The paper's figures
+# ---------------------------------------------------------------------------
+
+#: Workload sizes matching the benchmark harness: small enough to keep a full
+#: figure regeneration fast, large enough to span several lazy rounds.
+_TRANSACTIONS_CFT = 144
+_TRANSACTIONS_BFT = 112
+_PAPER_SEED = 2023
+
+
+def figure_base(
+    name: str,
+    failure_model: FailureModel,
+    latency_profile: str,
+    cross_domain_ratio: float,
+    mobile_ratio: float = 0.0,
+    faults: int = 1,
+    num_clients: int = 12,
+) -> Scenario:
+    """The shared shape of every evaluation scenario (engine = coordinator).
+
+    This is the single source of the figure parameters (workload sizes, seed,
+    round interval); both the registered fig07–fig13 scenarios and the
+    benchmark harness derive from it.
+    """
+    num_transactions = (
+        _TRANSACTIONS_CFT
+        if failure_model is FailureModel.CRASH
+        else _TRANSACTIONS_BFT
+    )
+    return Scenario(
+        name=name,
+        engine=SAGUARO_COORDINATOR,
+        topology=TopologySpec(failure_model=failure_model, faults=faults),
+        workload=WorkloadSpec(
+            num_transactions=num_transactions,
+            cross_domain_ratio=cross_domain_ratio,
+            contention_ratio=0.1,
+            mobile_ratio=mobile_ratio,
+        ),
+        num_clients=num_clients,
+        seeds=(_PAPER_SEED,),
+        latency_profile=latency_profile,
+        round_interval_ms=10.0,
+    )
+
+
+def _register_paper_figures() -> None:
+    crash, byz = FailureModel.CRASH, FailureModel.BYZANTINE
+    # Figures 7/8: cross-domain ratio panels (a) 20%, (b) 80%, (c) 100%.
+    for figure, model in (("fig07", crash), ("fig08", byz)):
+        for panel, ratio in (("a", 0.2), ("b", 0.8), ("c", 1.0)):
+            register(
+                f"{figure}{panel}",
+                figure_base(f"{figure}{panel}", model, "nearby-eu", ratio),
+            )
+    # Figures 9/11: device mobility; sweep `mobile_ratio` over these bases.
+    for figure, profile in (("fig09", "nearby-eu"), ("fig11", "wide-area")):
+        for panel, model in (("a", crash), ("b", byz)):
+            register(
+                f"{figure}{panel}",
+                figure_base(
+                    f"{figure}{panel}", model, profile,
+                    cross_domain_ratio=0.0, num_clients=24,
+                ),
+            )
+    # Figure 10: 10% cross-domain over the seven-region wide-area placement.
+    for panel, model in (("a", crash), ("b", byz)):
+        register(
+            f"fig10{panel}",
+            figure_base(f"fig10{panel}", model, "wide-area", cross_domain_ratio=0.10),
+        )
+    # Figures 12/13: domain-size scalability; sweep `faults` over these bases.
+    register(
+        "fig12",
+        figure_base("fig12", crash, "lan", cross_domain_ratio=0.10, num_clients=24),
+    )
+    register(
+        "fig13",
+        figure_base("fig13", byz, "lan", cross_domain_ratio=0.10, num_clients=16),
+    )
+    # Bare figure names alias panel (a) of the multi-panel figures.
+    for figure in ("fig07", "fig08", "fig09", "fig10", "fig11"):
+        register(figure, get(f"{figure}a"))
+
+
+_register_paper_figures()
+
+#: The figure names the registry guarantees (tested for completeness).
+PAPER_FIGURES: Tuple[str, ...] = (
+    "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+)

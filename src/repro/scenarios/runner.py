@@ -1,0 +1,365 @@
+"""Materialise and execute scenarios; collect structured results.
+
+The runner is the only place where a :class:`~repro.scenarios.spec.Scenario`
+meets live objects: it builds the hierarchy, application, workload, and
+deployment for one seed, schedules the fault events, runs the workload, and
+wraps the outcome in serialisable :class:`RunResult` / :class:`ResultSet`
+records.  Grid sweeps reuse the same machinery — every (override, seed) cell
+is an independent, reproducible run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import PerformanceSummary
+from repro.errors import ConfigurationError, ExperimentError, UnknownDomainError
+from repro.scenarios.spec import BASELINE_AHL, Scenario, _check_known_keys
+from repro.workloads.generator import Workload, WorkloadGenerator
+
+__all__ = ["LoadPoint", "RunResult", "ResultSet", "ScenarioRun", "ScenarioRunner"]
+
+
+# ---------------------------------------------------------------------------
+# Result records
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One point of a throughput-versus-latency curve."""
+
+    clients: int
+    throughput_tps: float
+    avg_latency_ms: float
+    p95_latency_ms: float
+    abort_rate: float
+    summary: PerformanceSummary
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.throughput_tps, self.avg_latency_ms)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The outcome of one (scenario, overrides, seed) execution."""
+
+    scenario: str
+    engine: str
+    seed: int
+    num_clients: int
+    summary: PerformanceSummary
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    def as_load_point(self) -> LoadPoint:
+        return LoadPoint(
+            clients=self.num_clients,
+            throughput_tps=self.summary.throughput_tps,
+            avg_latency_ms=self.summary.avg_latency_ms,
+            p95_latency_ms=self.summary.p95_latency_ms,
+            abort_rate=self.summary.abort_rate,
+            summary=self.summary,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "engine": self.engine,
+            "seed": self.seed,
+            "num_clients": self.num_clients,
+            "params": [[key, value] for key, value in self.params],
+            "summary": asdict(self.summary),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        _check_known_keys(data, [f.name for f in fields(cls)], "RunResult")
+        return cls(
+            scenario=data["scenario"],
+            engine=data["engine"],
+            seed=data["seed"],
+            num_clients=data["num_clients"],
+            params=tuple((key, value) for key, value in data.get("params", ())),
+            summary=PerformanceSummary(**data["summary"]),
+        )
+
+
+class ResultSet:
+    """An ordered collection of :class:`RunResult` with aggregation helpers."""
+
+    def __init__(self, results: Sequence[RunResult] = ()) -> None:
+        self.results: Tuple[RunResult, ...] = tuple(results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> RunResult:
+        return self.results[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ResultSet) and self.results == other.results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultSet({len(self.results)} runs)"
+
+    # ------------------------------------------------------------------ selection
+
+    def seeds(self) -> Tuple[int, ...]:
+        return tuple(sorted({r.seed for r in self.results}))
+
+    def filter(self, **params: Any) -> "ResultSet":
+        """Results whose sweep params (or num_clients/seed) match exactly."""
+        selected = []
+        for result in self.results:
+            match = True
+            for key, value in params.items():
+                if key in ("seed", "num_clients", "scenario", "engine"):
+                    match = getattr(result, key) == value
+                else:
+                    match = result.param(key) == value
+                if not match:
+                    break
+            if match:
+                selected.append(result)
+        return ResultSet(selected)
+
+    def grouped(self, key: str) -> "Dict[Any, ResultSet]":
+        """Group results by one sweep axis (insertion-ordered)."""
+        groups: Dict[Any, List[RunResult]] = {}
+        for result in self.results:
+            value = (
+                getattr(result, key)
+                if key in ("seed", "num_clients", "scenario", "engine")
+                else result.param(key)
+            )
+            groups.setdefault(value, []).append(result)
+        return {value: ResultSet(runs) for value, runs in groups.items()}
+
+    # ------------------------------------------------------------------ aggregation
+
+    def mean(self, attribute: str) -> float:
+        """Mean of one :class:`PerformanceSummary` attribute across runs."""
+        if not self.results:
+            raise ExperimentError("cannot aggregate an empty result set")
+        values = [getattr(r.summary, attribute) for r in self.results]
+        return sum(values) / len(values)
+
+    def aggregate(self) -> Dict[str, float]:
+        """Per-seed means of the headline metrics."""
+        return {
+            "runs": float(len(self.results)),
+            "throughput_tps": self.mean("throughput_tps"),
+            "avg_latency_ms": self.mean("avg_latency_ms"),
+            "p95_latency_ms": self.mean("p95_latency_ms"),
+            "abort_rate": self.mean("abort_rate"),
+            "committed": self.mean("committed"),
+            "aborted": self.mean("aborted"),
+        }
+
+    def load_points(self) -> List[LoadPoint]:
+        return [result.as_load_point() for result in self.results]
+
+    # ------------------------------------------------------------------ serialisation
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"results": [result.to_dict() for result in self.results]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ResultSet":
+        _check_known_keys(data, ("results",), "ResultSet")
+        return cls([RunResult.from_dict(entry) for entry in data.get("results", ())])
+
+
+# ---------------------------------------------------------------------------
+# Materialisation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScenarioRun:
+    """One materialised scenario run: live deployment + workload + outcome.
+
+    Unlike :class:`RunResult` this holds the live simulation objects, so
+    examples and tests can inspect ledgers, state stores, and summarized views
+    after the run.  Not serialisable by design.
+    """
+
+    scenario: Scenario
+    seed: int
+    deployment: Any
+    workload: Workload
+    summary: Optional[PerformanceSummary] = None
+
+    @property
+    def executed(self) -> bool:
+        return self.summary is not None
+
+    def run(self) -> RunResult:
+        """Execute the workload (once) and return the structured result."""
+        if self.summary is None:
+            self.summary = self.deployment.run_workload(
+                self.workload.transactions,
+                max_simulated_ms=self.scenario.max_simulated_ms,
+                drain_ms=self.scenario.drain_ms,
+                think_time_ms=self.scenario.think_time_ms,
+            )
+        return RunResult(
+            scenario=self.scenario.name,
+            engine=self.scenario.engine,
+            seed=self.seed,
+            num_clients=self.scenario.num_clients,
+            summary=self.summary,
+        )
+
+
+def materialize(scenario: Scenario, seed: Optional[int] = None) -> ScenarioRun:
+    """Build the live deployment and workload for one seed, without running.
+
+    The workload is generated (and its clients registered with the
+    application) *before* the deployment instantiates nodes, so that every
+    mobile device's personal account exists in its home domain's state.
+    """
+    from repro.baselines.deployment import AHL, SHARPER, BaselineDeployment
+    from repro.core.system import SaguaroDeployment
+
+    if seed is None:
+        seed = scenario.seeds[0]
+    config = scenario.deployment_config(seed)
+    hierarchy = scenario.build_hierarchy()
+    workload = WorkloadGenerator(
+        hierarchy,
+        scenario.workload.to_workload_config(seed),
+        num_clients=scenario.num_clients,
+        style=scenario.workload.style,
+        ride_hours=scenario.workload.ride_hours,
+        ride_fare=scenario.workload.ride_fare,
+    ).generate()
+    application = scenario.build_application()
+    workload.configure_application(application)
+    if scenario.is_baseline:
+        deployment = BaselineDeployment(
+            system=AHL if scenario.engine == BASELINE_AHL else SHARPER,
+            config=config,
+            application=application,
+            hierarchy=hierarchy,
+        )
+    else:
+        deployment = SaguaroDeployment(
+            config=config, application=application, hierarchy=hierarchy
+        )
+    _schedule_faults(scenario, deployment)
+    return ScenarioRun(
+        scenario=scenario, seed=seed, deployment=deployment, workload=workload
+    )
+
+
+def _schedule_faults(scenario: Scenario, deployment: Any) -> None:
+    """Arm the scenario's fault schedule on the deployment's simulator."""
+    for event in scenario.fault_schedule:
+        domain_id = event.domain_id()
+        try:
+            nodes = deployment.nodes_of(domain_id)
+        except UnknownDomainError as exc:
+            raise ConfigurationError(
+                f"fault event targets unknown domain {event.domain!r}"
+            ) from exc
+        if event.node is None:
+            target = deployment.primary_node_of(domain_id)
+        elif event.node < len(nodes):
+            target = nodes[event.node]
+        else:
+            raise ConfigurationError(
+                f"fault event targets node {event.node} but {event.domain} "
+                f"has only {len(nodes)} nodes"
+            )
+        action = target.crash if event.action == "crash" else target.recover
+        deployment.simulator.schedule_at(
+            event.at_ms, action, label=f"fault:{event.action}:{target.address}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+class ScenarioRunner:
+    """Executes scenarios: single runs, seed replication, and grid sweeps."""
+
+    def execute(self, scenario: Scenario, seed: Optional[int] = None) -> ScenarioRun:
+        """Run one seed and return the live :class:`ScenarioRun` for inspection."""
+        run = materialize(scenario, seed)
+        run.run()
+        return run
+
+    def run_seed(self, scenario: Scenario, seed: int) -> RunResult:
+        return materialize(scenario, seed).run()
+
+    def run(self, scenario: Scenario) -> ResultSet:
+        """Run every seed of the scenario; one :class:`RunResult` per seed."""
+        return ResultSet([self.run_seed(scenario, seed) for seed in scenario.seeds])
+
+    # ------------------------------------------------------------------ sweeps
+
+    def sweep(
+        self, scenario: Scenario, over: str, values: Sequence[Any]
+    ) -> ResultSet:
+        """Sweep one knob: for each value, override the scenario and run all seeds.
+
+        ``over`` may be any :meth:`Scenario.with_overrides` key —
+        ``"num_clients"``, ``"cross_domain_ratio"``, ``"mobile_ratio"``,
+        ``"faults"``, ``"engine"``, ...  Results are tagged with
+        ``params=((over, value),)`` so curves can be regrouped afterwards.
+        """
+        if not values:
+            raise ConfigurationError("sweep() needs at least one value")
+        return self.sweep_grid(scenario, {over: values})
+
+    def sweep_grid(
+        self, scenario: Scenario, grid: Mapping[str, Sequence[Any]]
+    ) -> ResultSet:
+        """Cartesian sweep over several knobs at once (row-major order)."""
+        if not grid:
+            raise ConfigurationError("sweep_grid() needs at least one axis")
+        axes = [(key, tuple(values)) for key, values in grid.items()]
+        for key, values in axes:
+            if not values:
+                raise ConfigurationError(f"sweep axis {key!r} has no values")
+        results: List[RunResult] = []
+        for combo in _cartesian(axes):
+            derived = scenario.with_overrides(**dict(combo))
+            for seed in derived.seeds:
+                result = materialize(derived, seed).run()
+                results.append(
+                    RunResult(
+                        scenario=result.scenario,
+                        engine=result.engine,
+                        seed=result.seed,
+                        num_clients=result.num_clients,
+                        summary=result.summary,
+                        params=combo,
+                    )
+                )
+        return ResultSet(results)
+
+
+def _cartesian(
+    axes: Sequence[Tuple[str, Tuple[Any, ...]]]
+) -> Iterator[Tuple[Tuple[str, Any], ...]]:
+    if not axes:
+        yield ()
+        return
+    key, values = axes[0]
+    for value in values:
+        for rest in _cartesian(axes[1:]):
+            yield ((key, value),) + rest

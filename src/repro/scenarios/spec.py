@@ -1,0 +1,636 @@
+"""The declarative scenario specification.
+
+A :class:`Scenario` is a frozen, fully serialisable description of one Saguaro
+experiment: which system runs (``engine``), over which topology, with which
+application, under which workload mix, with which fault schedule, and for
+which replication seeds.  Because a scenario is plain data, experiments can be
+stored as JSON, diffed, swept, and replayed bit-for-bit:
+
+    >>> scenario = Scenario.build().workload(num_transactions=100).finish()
+    >>> Scenario.from_dict(scenario.to_dict()) == scenario
+    True
+
+Scenarios are *specs*, not live objects — they hold no simulator, no nodes,
+no RNG state.  :mod:`repro.scenarios.runner` materialises and executes them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.common.config import (
+    DeploymentConfig,
+    DomainSpec,
+    HierarchySpec,
+    RoundConfig,
+    TimerConfig,
+    WorkloadConfig,
+)
+from repro.common.types import CrossDomainProtocol, DomainId, FailureModel
+from repro.errors import ConfigurationError
+from repro.sim.latency import PROFILE_NAMES
+from repro.workloads.generator import WORKLOAD_STYLES
+
+__all__ = [
+    "SAGUARO_COORDINATOR",
+    "SAGUARO_OPTIMISTIC",
+    "BASELINE_AHL",
+    "BASELINE_SHARPER",
+    "ENGINES",
+    "BASELINE_ENGINES",
+    "WORKLOAD_STYLES",
+    "APPLICATION_KINDS",
+    "DomainOverride",
+    "TopologySpec",
+    "ApplicationSpec",
+    "WorkloadSpec",
+    "FaultEvent",
+    "Scenario",
+    "parse_domain_name",
+]
+
+
+# ---------------------------------------------------------------------------
+# Engine identifiers
+# ---------------------------------------------------------------------------
+
+#: The four systems the paper evaluates.  ``analysis.experiment`` re-exports
+#: these names for backwards compatibility.
+SAGUARO_COORDINATOR = "saguaro-coordinator"
+SAGUARO_OPTIMISTIC = "saguaro-optimistic"
+BASELINE_AHL = "baseline-ahl"
+BASELINE_SHARPER = "baseline-sharper"
+
+ENGINES: Tuple[str, ...] = (
+    SAGUARO_COORDINATOR,
+    SAGUARO_OPTIMISTIC,
+    BASELINE_AHL,
+    BASELINE_SHARPER,
+)
+BASELINE_ENGINES: Tuple[str, ...] = (BASELINE_AHL, BASELINE_SHARPER)
+
+APPLICATION_KINDS: Tuple[str, ...] = ("micropayment", "ridesharing", "keyvalue")
+
+TOPOLOGY_KINDS: Tuple[str, ...] = ("auto", "tree", "flat")
+FAULT_ACTIONS: Tuple[str, ...] = ("crash", "recover")
+
+
+def parse_domain_name(name: str) -> DomainId:
+    """Parse a ``D<height><index>`` domain name (e.g. ``"D11"``, ``"D21"``)."""
+    if not isinstance(name, str) or len(name) < 3 or not name.startswith("D"):
+        raise ConfigurationError(f"invalid domain name {name!r}; expected 'D<h><i>'")
+    try:
+        return DomainId(height=int(name[1]), index=int(name[2:]))
+    except (ValueError, ConfigurationError) as exc:
+        raise ConfigurationError(f"invalid domain name {name!r}") from exc
+
+
+def _as_tuple(value: Any) -> Tuple[Any, ...]:
+    if isinstance(value, tuple):
+        return value
+    if isinstance(value, (list, set, frozenset)):
+        return tuple(value)
+    return (value,)
+
+
+def _check_known_keys(data: Mapping[str, Any], known: Iterable[str], what: str) -> None:
+    unknown = set(data) - set(known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {what} field(s): {sorted(unknown)}; known: {sorted(known)}"
+        )
+
+
+def _dataclass_from_dict(cls, data: Mapping[str, Any], what: str):
+    names = [f.name for f in fields(cls)]
+    _check_known_keys(data, names, what)
+    return cls(**dict(data))
+
+
+# ---------------------------------------------------------------------------
+# Topology
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DomainOverride:
+    """Per-domain deviation from the topology's default failure model/size."""
+
+    domain: str
+    failure_model: Optional[FailureModel] = None
+    faults: Optional[int] = None
+    region: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        parse_domain_name(self.domain)  # validates the name
+        if isinstance(self.failure_model, str):
+            object.__setattr__(self, "failure_model", FailureModel(self.failure_model))
+        if self.faults is not None and self.faults < 0:
+            raise ConfigurationError("faults must be non-negative")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "domain": self.domain,
+            "failure_model": (
+                self.failure_model.value if self.failure_model is not None else None
+            ),
+            "faults": self.faults,
+            "region": self.region,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DomainOverride":
+        return _dataclass_from_dict(cls, data, "DomainOverride")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Shape of the domain tree (or flat shard set for the baselines).
+
+    ``kind`` is ``"tree"`` (Saguaro's hierarchy), ``"flat"`` (the baselines'
+    shard set), or ``"auto"`` — pick whichever matches the scenario's engine.
+    """
+
+    kind: str = "auto"
+    levels: int = 4
+    branching: int = 2
+    clients_per_leaf: int = 8
+    failure_model: FailureModel = FailureModel.CRASH
+    faults: int = 1
+    num_domains: Optional[int] = None
+    per_domain: Tuple[DomainOverride, ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.failure_model, str):
+            object.__setattr__(self, "failure_model", FailureModel(self.failure_model))
+        object.__setattr__(
+            self,
+            "per_domain",
+            tuple(
+                o if isinstance(o, DomainOverride) else DomainOverride.from_dict(o)
+                for o in _as_tuple(self.per_domain)
+            ),
+        )
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ConfigurationError(
+                f"unknown topology kind {self.kind!r}; known: {TOPOLOGY_KINDS}"
+            )
+        if self.num_domains is not None and self.num_domains < 1:
+            raise ConfigurationError("num_domains must be >= 1 when given")
+        seen = set()
+        for override in self.per_domain:
+            if override.domain in seen:
+                raise ConfigurationError(f"duplicate override for {override.domain}")
+            seen.add(override.domain)
+        # Delegate range checks on levels/branching/faults to the config layer.
+        self.hierarchy_spec()
+
+    def default_domain_spec(self) -> DomainSpec:
+        return DomainSpec(failure_model=self.failure_model, faults=self.faults)
+
+    def hierarchy_spec(self) -> HierarchySpec:
+        default = self.default_domain_spec()
+        per_domain: Dict[str, DomainSpec] = {}
+        for override in self.per_domain:
+            per_domain[override.domain] = DomainSpec(
+                failure_model=override.failure_model or default.failure_model,
+                faults=override.faults if override.faults is not None else default.faults,
+                region=override.region,
+            )
+        return HierarchySpec(
+            levels=self.levels,
+            branching=self.branching,
+            clients_per_leaf=self.clients_per_leaf,
+            default_spec=default,
+            per_domain=per_domain,
+        )
+
+    def resolved_kind(self, engine: str) -> str:
+        if self.kind != "auto":
+            return self.kind
+        return "flat" if engine in BASELINE_ENGINES else "tree"
+
+    def resolved_num_domains(self) -> int:
+        if self.num_domains is not None:
+            return self.num_domains
+        return self.hierarchy_spec().num_height1_domains
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "levels": self.levels,
+            "branching": self.branching,
+            "clients_per_leaf": self.clients_per_leaf,
+            "failure_model": self.failure_model.value,
+            "faults": self.faults,
+            "num_domains": self.num_domains,
+            "per_domain": [o.to_dict() for o in self.per_domain],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        return _dataclass_from_dict(cls, data, "TopologySpec")
+
+
+# ---------------------------------------------------------------------------
+# Application
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """Which application executes transactions, and its knobs.
+
+    ``accounts_per_domain`` defaults to the workload's value so the two stay
+    consistent; ``hour_cap`` only applies to the ridesharing application.
+    """
+
+    kind: str = "micropayment"
+    accounts_per_domain: Optional[int] = None
+    hour_cap: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in APPLICATION_KINDS:
+            raise ConfigurationError(
+                f"unknown application kind {self.kind!r}; known: {APPLICATION_KINDS}"
+            )
+        if self.accounts_per_domain is not None and self.accounts_per_domain < 1:
+            raise ConfigurationError("accounts_per_domain must be >= 1 when given")
+        if self.hour_cap <= 0:
+            raise ConfigurationError("hour_cap must be positive")
+
+    def build(self, workload: "WorkloadSpec"):
+        """Instantiate the application for ``workload``."""
+        if self.kind == "micropayment":
+            from repro.workloads.micropayment import MicropaymentApplication
+
+            accounts = self.accounts_per_domain or workload.accounts_per_domain
+            return MicropaymentApplication(accounts_per_domain=accounts)
+        if self.kind == "ridesharing":
+            from repro.workloads.ridesharing import RidesharingApplication
+
+            return RidesharingApplication(hour_cap=self.hour_cap)
+        from repro.core.application import KeyValueApplication
+
+        return KeyValueApplication()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "accounts_per_domain": self.accounts_per_domain,
+            "hour_cap": self.hour_cap,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ApplicationSpec":
+        return _dataclass_from_dict(cls, data, "ApplicationSpec")
+
+
+# ---------------------------------------------------------------------------
+# Workload
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Workload mix (the knobs of §8) plus the payload style.
+
+    ``style`` selects what the generated transactions *do*: ``"transfer"``
+    produces micropayment transfers, ``"rides"`` produces ridesharing rides
+    (``ride_hours`` / ``ride_fare`` per trip).  The per-run seed comes from
+    the scenario's ``seeds``, not from this spec, so one spec replicates
+    cleanly across seeds.
+    """
+
+    style: str = "transfer"
+    num_transactions: int = 400
+    cross_domain_ratio: float = 0.0
+    contention_ratio: float = 0.1
+    mobile_ratio: float = 0.0
+    hot_accounts_per_domain: int = 4
+    accounts_per_domain: int = 256
+    mobile_txns_per_excursion: int = 10
+    involved_domains: int = 2
+    initial_balance: int = 1_000_000
+    ride_hours: float = 0.5
+    ride_fare: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.style not in WORKLOAD_STYLES:
+            raise ConfigurationError(
+                f"unknown workload style {self.style!r}; known: {WORKLOAD_STYLES}"
+            )
+        if self.ride_hours <= 0 or self.ride_fare < 0:
+            raise ConfigurationError("ride_hours must be positive and ride_fare >= 0")
+        # Reuse the config layer's range validation for the shared knobs.
+        self.to_workload_config(seed=0)
+
+    def to_workload_config(self, seed: int) -> WorkloadConfig:
+        return WorkloadConfig(
+            num_transactions=self.num_transactions,
+            cross_domain_ratio=self.cross_domain_ratio,
+            contention_ratio=self.contention_ratio,
+            mobile_ratio=self.mobile_ratio,
+            hot_accounts_per_domain=self.hot_accounts_per_domain,
+            accounts_per_domain=self.accounts_per_domain,
+            mobile_txns_per_excursion=self.mobile_txns_per_excursion,
+            involved_domains=self.involved_domains,
+            initial_balance=self.initial_balance,
+            seed=seed,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        return _dataclass_from_dict(cls, data, "WorkloadSpec")
+
+
+# ---------------------------------------------------------------------------
+# Fault schedule
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: crash (or recover) a node at a simulated time.
+
+    ``node`` indexes into the domain's node list; ``None`` targets the
+    domain's initial primary.
+    """
+
+    at_ms: float
+    domain: str
+    node: Optional[int] = None
+    action: str = "crash"
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ConfigurationError("fault events cannot be scheduled in the past")
+        parse_domain_name(self.domain)
+        if self.node is not None and self.node < 0:
+            raise ConfigurationError("node index must be non-negative")
+        if self.action not in FAULT_ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {self.action!r}; known: {FAULT_ACTIONS}"
+            )
+
+    def domain_id(self) -> DomainId:
+        return parse_domain_name(self.domain)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "at_ms": self.at_ms,
+            "domain": self.domain,
+            "node": self.node,
+            "action": self.action,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        return _dataclass_from_dict(cls, data, "FaultEvent")
+
+
+# ---------------------------------------------------------------------------
+# Scenario
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully described Saguaro experiment."""
+
+    name: str = "scenario"
+    engine: str = SAGUARO_COORDINATOR
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    application: ApplicationSpec = field(default_factory=ApplicationSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    fault_schedule: Tuple[FaultEvent, ...] = ()
+    num_clients: int = 8
+    seeds: Tuple[int, ...] = (2023,)
+    latency_profile: str = "nearby-eu"
+    round_interval_ms: float = 25.0
+    timers: TimerConfig = field(default_factory=TimerConfig)
+    think_time_ms: float = 0.5
+    max_simulated_ms: float = 600_000.0
+    drain_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seeds", tuple(_as_tuple(self.seeds)))
+        object.__setattr__(
+            self,
+            "fault_schedule",
+            tuple(
+                e if isinstance(e, FaultEvent) else FaultEvent.from_dict(e)
+                for e in _as_tuple(self.fault_schedule)
+            ),
+        )
+        if not self.name:
+            raise ConfigurationError("scenario name must be non-empty")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; known: {ENGINES}"
+            )
+        if self.num_clients < 1:
+            raise ConfigurationError("num_clients must be >= 1")
+        if not self.seeds:
+            raise ConfigurationError("a scenario needs at least one seed")
+        if any(not isinstance(seed, int) for seed in self.seeds):
+            raise ConfigurationError("seeds must be integers")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ConfigurationError("seeds must be distinct")
+        if self.latency_profile not in PROFILE_NAMES:
+            raise ConfigurationError(
+                f"unknown latency profile {self.latency_profile!r}; "
+                f"known: {PROFILE_NAMES}"
+            )
+        if self.round_interval_ms <= 0:
+            raise ConfigurationError("round_interval_ms must be positive")
+        if self.think_time_ms < 0:
+            raise ConfigurationError("think_time_ms must be non-negative")
+        if self.max_simulated_ms <= 0:
+            raise ConfigurationError("max_simulated_ms must be positive")
+        if self.drain_ms is not None and self.drain_ms < 0:
+            raise ConfigurationError("drain_ms must be non-negative when given")
+
+    # ------------------------------------------------------------------ building blocks
+
+    @classmethod
+    def build(cls) -> "ScenarioBuilder":
+        """Start a fluent builder: ``Scenario.build().workload(...).finish()``."""
+        from repro.scenarios.builder import ScenarioBuilder
+
+        return ScenarioBuilder()
+
+    @property
+    def protocol(self) -> CrossDomainProtocol:
+        if self.engine == SAGUARO_OPTIMISTIC:
+            return CrossDomainProtocol.OPTIMISTIC
+        return CrossDomainProtocol.COORDINATOR
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.engine in BASELINE_ENGINES
+
+    def deployment_config(self, seed: int) -> DeploymentConfig:
+        return DeploymentConfig(
+            hierarchy=self.topology.hierarchy_spec(),
+            protocol=self.protocol,
+            timers=self.timers,
+            rounds=RoundConfig(height1_interval_ms=self.round_interval_ms),
+            latency_profile=self.latency_profile,
+            seed=seed,
+        )
+
+    def build_hierarchy(self):
+        """Build (and region-place) the hierarchy this scenario runs over."""
+        from repro.topology.builders import build_flat_domains, build_tree
+        from repro.topology.regions import placement_for_profile
+
+        if self.topology.resolved_kind(self.engine) == "flat":
+            hierarchy = build_flat_domains(
+                self.topology.resolved_num_domains(),
+                self.topology.default_domain_spec(),
+            )
+        else:
+            hierarchy = build_tree(self.topology.hierarchy_spec())
+        return placement_for_profile(hierarchy, self.latency_profile)
+
+    def build_application(self):
+        return self.application.build(self.workload)
+
+    # ------------------------------------------------------------------ derivation
+
+    def with_overrides(self, **overrides: Any) -> "Scenario":
+        """A copy of this scenario with named knobs changed.
+
+        Keys resolve against the scenario's own fields first, then against the
+        workload, topology, and application specs (in that order), so sweeps
+        can say ``with_overrides(num_clients=32)`` or
+        ``with_overrides(cross_domain_ratio=0.8)`` without spelling the nested
+        path.  ``seed=n`` is shorthand for ``seeds=(n,)``; ``application`` and
+        ``engine`` accept their string forms.
+        """
+        top: Dict[str, Any] = {}
+        nested: Dict[str, Dict[str, Any]] = {"workload": {}, "topology": {}, "application": {}}
+        scenario_fields = {f.name for f in fields(Scenario)}
+        workload_fields = {f.name for f in fields(WorkloadSpec)}
+        topology_fields = {f.name for f in fields(TopologySpec)}
+        application_fields = {f.name for f in fields(ApplicationSpec)}
+        for key, value in overrides.items():
+            if key == "seed":
+                top["seeds"] = _as_tuple(value)
+            elif key == "application" and isinstance(value, str):
+                top["application"] = replace(self.application, kind=value)
+            elif key in scenario_fields:
+                top[key] = value
+            elif key in workload_fields:
+                nested["workload"][key] = value
+            elif key in topology_fields:
+                nested["topology"][key] = value
+            elif key in application_fields:
+                nested["application"][key] = value
+            else:
+                raise ConfigurationError(
+                    f"unknown scenario override {key!r}; not a Scenario, "
+                    "WorkloadSpec, TopologySpec, or ApplicationSpec field"
+                )
+        # Whole-spec replacements first, then field-level changes on top, so
+        # e.g. (workload=spec, cross_domain_ratio=0.8) applies the ratio to
+        # the replacement spec instead of silently discarding it.
+        updated = replace(self, **top) if top else self
+        for attr, changes in nested.items():
+            if changes:
+                updated = replace(updated, **{attr: replace(getattr(updated, attr), **changes)})
+        return updated
+
+    def with_clients(self, num_clients: int) -> "Scenario":
+        return self.with_overrides(num_clients=num_clients)
+
+    def with_engine(self, engine: str) -> "Scenario":
+        return self.with_overrides(engine=engine)
+
+    def replicate(self, seeds: Union[int, Sequence[int]]) -> "Scenario":
+        """Replicate across seeds: an int ``n`` derives ``n`` consecutive seeds
+        from the scenario's first seed; a sequence is used as-is."""
+        if isinstance(seeds, bool) or not isinstance(seeds, (int, Sequence)):
+            raise ConfigurationError("replicate() takes an int or a seed sequence")
+        if isinstance(seeds, int):
+            if seeds < 1:
+                raise ConfigurationError("replicate() needs at least one seed")
+            base = self.seeds[0]
+            seed_tuple = tuple(base + offset for offset in range(seeds))
+        else:
+            seed_tuple = tuple(seeds)
+        return replace(self, seeds=seed_tuple)
+
+    # ------------------------------------------------------------------ serialisation
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "engine": self.engine,
+            "topology": self.topology.to_dict(),
+            "application": self.application.to_dict(),
+            "workload": self.workload.to_dict(),
+            "fault_schedule": [e.to_dict() for e in self.fault_schedule],
+            "num_clients": self.num_clients,
+            "seeds": list(self.seeds),
+            "latency_profile": self.latency_profile,
+            "round_interval_ms": self.round_interval_ms,
+            "timers": {f.name: getattr(self.timers, f.name) for f in fields(self.timers)},
+            "think_time_ms": self.think_time_ms,
+            "max_simulated_ms": self.max_simulated_ms,
+            "drain_ms": self.drain_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        _check_known_keys(data, [f.name for f in fields(cls)], "Scenario")
+        kwargs: Dict[str, Any] = dict(data)
+        if "topology" in kwargs and isinstance(kwargs["topology"], Mapping):
+            kwargs["topology"] = TopologySpec.from_dict(kwargs["topology"])
+        if "application" in kwargs and isinstance(kwargs["application"], Mapping):
+            kwargs["application"] = ApplicationSpec.from_dict(kwargs["application"])
+        if "workload" in kwargs and isinstance(kwargs["workload"], Mapping):
+            kwargs["workload"] = WorkloadSpec.from_dict(kwargs["workload"])
+        if "timers" in kwargs and isinstance(kwargs["timers"], Mapping):
+            kwargs["timers"] = _dataclass_from_dict(
+                TimerConfig, kwargs["timers"], "TimerConfig"
+            )
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------ description
+
+    def describe(self) -> str:
+        workload = self.workload
+        lines = [
+            f"Scenario {self.name!r}: engine={self.engine}, "
+            f"profile={self.latency_profile}, seeds={list(self.seeds)}",
+            f"  topology: {self.topology.resolved_kind(self.engine)} "
+            f"(levels={self.topology.levels}, branching={self.topology.branching}, "
+            f"{self.topology.failure_model.value} f={self.topology.faults})",
+            f"  workload: {workload.style} x{workload.num_transactions} "
+            f"(cross={workload.cross_domain_ratio:.0%}, "
+            f"contention={workload.contention_ratio:.0%}, "
+            f"mobile={workload.mobile_ratio:.0%}) over {self.num_clients} clients",
+            f"  application: {self.application.kind}",
+        ]
+        if self.fault_schedule:
+            rendered = ", ".join(
+                f"{e.action} {e.domain}"
+                + (f"/n{e.node}" if e.node is not None else "/primary")
+                + f" @{e.at_ms:.0f}ms"
+                for e in self.fault_schedule
+            )
+            lines.append(f"  faults: {rendered}")
+        return "\n".join(lines)

@@ -33,8 +33,14 @@ from repro.errors import WorkloadError
 from repro.ledger.transaction import Transaction
 from repro.topology.hierarchy import Hierarchy
 from repro.workloads.micropayment import account_key, client_account_key
+from repro.workloads.ridesharing import driver_hours_key
 
-__all__ = ["Workload", "WorkloadGenerator"]
+__all__ = ["Workload", "WorkloadGenerator", "WORKLOAD_STYLES"]
+
+#: Payload styles the generator can emit: micropayment ``transfer``s (the
+#: paper's evaluation workload) or ridesharing ``ride``s (§2's gig-economy
+#: application, driven by the same mobility/contention knobs).
+WORKLOAD_STYLES = ("transfer", "rides")
 
 
 @dataclass
@@ -87,12 +93,24 @@ class WorkloadGenerator:
         hierarchy: Hierarchy,
         config: Optional[WorkloadConfig] = None,
         num_clients: int = 8,
+        style: str = "transfer",
+        ride_hours: float = 0.5,
+        ride_fare: float = 10.0,
     ) -> None:
         if num_clients < 1:
             raise WorkloadError("num_clients must be >= 1")
+        if style not in WORKLOAD_STYLES:
+            raise WorkloadError(
+                f"unknown workload style {style!r}; known: {WORKLOAD_STYLES}"
+            )
+        if ride_hours <= 0:
+            raise WorkloadError("ride_hours must be positive")
         self._hierarchy = hierarchy
         self._config = config or WorkloadConfig()
         self._num_clients = num_clients
+        self._style = style
+        self._ride_hours = ride_hours
+        self._ride_fare = ride_fare
         self._rng = random.Random(self._config.seed)
         self._height1 = hierarchy.height1_domains()
         self._leaves = hierarchy.leaf_domains()
@@ -146,10 +164,30 @@ class WorkloadGenerator:
 
     # ------------------------------------------------------------------ transaction builders
 
+    def _ride_payload_and_keys(self, plan: _ClientPlan):
+        payload = {
+            "op": "ride",
+            "driver": plan.client.name,
+            "hours": self._ride_hours,
+            "fare": self._ride_fare,
+        }
+        return payload, (driver_hours_key(plan.client.name),)
+
     def _internal_transaction(
         self, number: int, plan: _ClientPlan
     ) -> Transaction:
         domain = plan.local_domain
+        if self._style == "rides":
+            payload, keys = self._ride_payload_and_keys(plan)
+            return Transaction(
+                tid=TransactionId(number=number, origin=plan.client),
+                kind=TransactionKind.INTERNAL,
+                involved_domains=(domain,),
+                payload=payload,
+                read_keys=keys,
+                write_keys=keys,
+                client=plan.client,
+            )
         sender, recipient = self._pick_two_accounts(domain)
         return Transaction(
             tid=TransactionId(number=number, origin=plan.client),
@@ -202,6 +240,19 @@ class WorkloadGenerator:
             plan.remaining_in_excursion = self._config.mobile_txns_per_excursion
         plan.remaining_in_excursion -= 1
         remote = plan.remote_domain
+        if self._style == "rides":
+            payload, keys = self._ride_payload_and_keys(plan)
+            return Transaction(
+                tid=TransactionId(number=number, origin=plan.client),
+                kind=TransactionKind.MOBILE,
+                involved_domains=(remote,),
+                payload=payload,
+                read_keys=keys,
+                write_keys=keys,
+                client=plan.client,
+                home_domain=plan.local_domain,
+                remote_domain=remote,
+            )
         sender = client_account_key(plan.client)
         recipient = self._pick_account(remote)
         return Transaction(
@@ -231,7 +282,12 @@ class WorkloadGenerator:
             plan = plans[(number - 1) % len(plans)]
             if plan.is_mobile:
                 transaction = self._mobile_transaction(number, plan)
-            elif self._rng.random() < self._config.cross_domain_ratio:
+            elif (
+                self._style == "transfer"
+                and self._rng.random() < self._config.cross_domain_ratio
+            ):
+                # Rides are single-domain by nature, so the rides style folds
+                # the cross-domain fraction into local transactions.
                 transaction = self._cross_domain_transaction(number, plan)
             else:
                 transaction = self._internal_transaction(number, plan)

@@ -1,0 +1,58 @@
+"""Smoke tests: every example must import and run under a small workload.
+
+Each example exposes ``main(overrides)`` where ``overrides`` is forwarded to
+:meth:`repro.scenarios.Scenario.with_overrides`; shrinking the workload keeps
+this suite fast while still executing every example end-to-end, so the
+examples cannot silently rot.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (module, overrides) — small enough to run in a couple of seconds each.
+EXAMPLES = (
+    ("quickstart", {"num_transactions": 12, "num_clients": 2}),
+    ("micropayment_demo", {"num_transactions": 12, "num_clients": 2}),
+    ("wide_area_aggregation", {"num_transactions": 12, "num_clients": 2}),
+    ("ridesharing_mobility", {"num_transactions": 6, "mobile_txns_per_excursion": 3}),
+)
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+@pytest.mark.parametrize("name,overrides", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs_with_a_small_workload(name, overrides, capsys):
+    module = load_example(name)
+    module.main(overrides)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"
+
+
+def test_every_example_file_is_smoke_tested():
+    on_disk = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == {name for name, _ in EXAMPLES}
+
+
+def test_examples_build_scenarios_declaratively():
+    from repro.scenarios import Scenario
+
+    for name, _ in EXAMPLES:
+        module = load_example(name)
+        scenario = module.build_scenario()
+        assert isinstance(scenario, Scenario)
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
