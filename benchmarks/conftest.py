@@ -4,3 +4,12 @@ import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the session's figure results so perf is tracked across PRs."""
+    from figure_common import write_bench_results
+
+    path = write_bench_results()
+    if path is not None:
+        print(f"\nbenchmark results written to {path}")

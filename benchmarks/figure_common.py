@@ -16,7 +16,10 @@ sweeps go through :class:`~repro.scenarios.ScenarioRunner`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.experiment import SystemVariant, paper_cross_domain_variants
 from repro.analysis.metrics import PerformanceSummary
@@ -34,13 +37,66 @@ __all__ = [
     "mobile_figure",
     "scalability_figure",
     "run_once",
+    "record_bench",
+    "write_bench_results",
     "paper_cross_domain_variants",
 ]
 
 #: Concurrent-client counts used to sweep each throughput/latency curve.
 LOAD_LEVELS: Sequence[int] = (8, 32)
 
-_RUNNER = ScenarioRunner()
+#: Every figure run is an invariant-checked execution, not a trusted one.
+_RUNNER = ScenarioRunner(check_invariants=True)
+
+# ---------------------------------------------------------------------------
+# Cross-PR performance tracking (BENCH_results.json)
+# ---------------------------------------------------------------------------
+
+#: Where the headline numbers of one benchmark session are written.
+BENCH_RESULTS_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_results.json")
+)
+
+_BENCH_RECORDS: List[Dict[str, Any]] = []
+
+
+def record_bench(
+    figure: str,
+    *,
+    throughput_tps: float,
+    avg_latency_ms: float,
+    events_per_sec: Optional[float] = None,
+) -> None:
+    """Remember one figure's headline numbers for :func:`write_bench_results`."""
+    _BENCH_RECORDS.append(
+        {
+            "figure": figure,
+            "throughput_tps": round(throughput_tps, 1),
+            "avg_latency_ms": round(avg_latency_ms, 3),
+            "events_per_sec": (
+                round(events_per_sec) if events_per_sec is not None else None
+            ),
+        }
+    )
+
+
+def write_bench_results(path: Optional[str] = None) -> Optional[str]:
+    """Dump every recorded figure result as JSON; returns the path written.
+
+    Called from the benchmark conftest at session end so the performance
+    trajectory (throughput, latency, simulator events/second) is tracked
+    across PRs.  No-op when no benchmark recorded anything this session.
+    """
+    if not _BENCH_RECORDS:
+        return None
+    target = path or BENCH_RESULTS_PATH
+    payload = {
+        "results": sorted(_BENCH_RECORDS, key=lambda entry: entry["figure"]),
+    }
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
 
 
 def _base_config(
@@ -71,13 +127,49 @@ def _for_variant(base: Scenario, variant: SystemVariant) -> Scenario:
     return registry.series_scenarios(base, series)[variant.label]
 
 
+def _timed_checked_run(scenario: Scenario):
+    """Execute one scenario, timing the simulation alone.
+
+    The invariant check runs *after* the timer stops, so the recorded
+    events/second reflects the simulator — a slower checker must not read as
+    a simulator regression in the cross-PR trajectory.
+    """
+    from repro.scenarios.runner import materialize
+
+    run = materialize(scenario)
+    started = time.perf_counter()
+    run.run()
+    elapsed = time.perf_counter() - started
+    if _RUNNER.check_invariants:
+        run.check_invariants()
+    events_per_sec = (
+        run.deployment.simulator.events_executed / elapsed if elapsed > 0 else None
+    )
+    return run, events_per_sec
+
+
 def run_once(
-    scenario: Scenario, variant: Optional[SystemVariant] = None
+    scenario: Scenario,
+    variant: Optional[SystemVariant] = None,
+    figure: Optional[str] = None,
 ) -> PerformanceSummary:
-    """Run one scenario (optionally specialised to a system variant) once."""
+    """Run one scenario (optionally specialised to a system variant) once.
+
+    With ``figure`` given, the run's headline numbers — including the
+    simulator's real-time event rate — are recorded for ``BENCH_results.json``.
+    """
     if variant is not None:
         scenario = _for_variant(scenario, variant)
-    return _RUNNER.run(scenario)[0].summary
+    run, events_per_sec = _timed_checked_run(scenario)
+    assert run.summary is not None
+    if figure is not None:
+        record_bench(
+            figure,
+            throughput_tps=run.summary.throughput_tps,
+            avg_latency_ms=run.summary.avg_latency_ms,
+            events_per_sec=events_per_sec,
+        )
+    return run.summary
 
 
 def cross_domain_figure(
@@ -88,6 +180,7 @@ def cross_domain_figure(
     variants: Optional[List[SystemVariant]] = None,
     load_levels: Sequence[int] = LOAD_LEVELS,
     faults: int = 1,
+    figure: Optional[str] = None,
 ) -> Dict[str, List[LoadPoint]]:
     """One sub-figure of Figures 7, 8, 10, 12 or 13: six system series."""
     base = _base_config(
@@ -103,6 +196,19 @@ def cross_domain_figure(
         series[label] = sweep.load_points()
     print()
     print(format_series_table(series, title))
+    if figure is not None and "Coordinator" in series:
+        best = max(series["Coordinator"], key=lambda point: point.throughput_tps)
+        # One extra timed run of the recorded cell gives the simulator's
+        # real-time event rate for the perf trajectory.
+        _, events_per_sec = _timed_checked_run(
+            scenarios["Coordinator"].with_clients(best.clients)
+        )
+        record_bench(
+            figure,
+            throughput_tps=best.throughput_tps,
+            avg_latency_ms=best.avg_latency_ms,
+            events_per_sec=events_per_sec,
+        )
     return series
 
 
@@ -112,6 +218,7 @@ def mobile_figure(
     latency_profile: str = "nearby-eu",
     mobile_ratios: Sequence[float] = (0.0, 0.2, 0.8, 1.0),
     num_clients: int = 24,
+    figure: Optional[str] = None,
 ) -> Dict[str, PerformanceSummary]:
     """Figures 9 and 11: Saguaro throughput under increasing device mobility."""
     base = _base_config(
@@ -124,6 +231,18 @@ def mobile_figure(
     }
     print()
     print(format_mobile_table(results, title))
+    if figure is not None and results:
+        headline = results.get("100% mobile") or next(iter(results.values()))
+        headline_ratio = 1.0 if "100% mobile" in results else mobile_ratios[0]
+        _, events_per_sec = _timed_checked_run(
+            base.with_overrides(mobile_ratio=headline_ratio)
+        )
+        record_bench(
+            figure,
+            throughput_tps=headline.throughput_tps,
+            avg_latency_ms=headline.avg_latency_ms,
+            events_per_sec=events_per_sec,
+        )
     return results
 
 
@@ -132,6 +251,7 @@ def scalability_figure(
     failure_model: FailureModel,
     faults_levels: Sequence[int] = (1, 2, 4),
     load: int = 24,
+    figure: Optional[str] = None,
 ) -> Dict[str, Dict[str, PerformanceSummary]]:
     """Figures 12 and 13: impact of domain size (|p|) on every protocol."""
     results: Dict[str, Dict[str, PerformanceSummary]] = {}
@@ -139,13 +259,18 @@ def scalability_figure(
     print(title)
     print("-" * len(title))
     base = _base_config(failure_model, "lan", cross_domain_ratio=0.10).with_clients(load)
-    for faults in faults_levels:
+    for index, faults in enumerate(faults_levels):
         domain_size = domain_size_for_failures(faults, failure_model)
         row: Dict[str, PerformanceSummary] = {}
         for label, scenario in registry.series_scenarios(
             base.with_overrides(faults=faults), registry.SCALABILITY_SERIES
         ).items():
-            row[label] = run_once(scenario)
+            row[label] = run_once(
+                scenario,
+                figure=(
+                    figure if index == 0 and label == "Coordinator" else None
+                ),
+            )
         results[f"|p|={domain_size}"] = row
         rendered = "  ".join(
             f"{label}: {summary.throughput_tps:8.1f} tps" for label, summary in row.items()

@@ -27,6 +27,7 @@ def test_figure7_cross_domain_crash(benchmark, cross_ratio, label):
             cross_domain_ratio=cross_ratio,
             failure_model=FailureModel.CRASH,
             latency_profile="nearby-eu",
+            figure=f"fig07{label}",
         )
 
     series = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -21,6 +21,7 @@ def test_figure8_cross_domain_byzantine(benchmark, cross_ratio, label):
             cross_domain_ratio=cross_ratio,
             failure_model=FailureModel.BYZANTINE,
             latency_profile="nearby-eu",
+            figure=f"fig08{label}",
         )
 
     series = benchmark.pedantic(run, rounds=1, iterations=1)

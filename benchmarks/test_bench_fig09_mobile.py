@@ -22,6 +22,7 @@ def test_figure9_mobile_devices(benchmark, failure_model, label, max_drop):
             title=f"Figure 9({label}): mobile devices, {failure_model.value} domains, nearby EU",
             failure_model=failure_model,
             latency_profile="nearby-eu",
+            figure=f"fig09{label}",
         )
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -25,6 +25,7 @@ def test_figure10_wide_area(benchmark, failure_model, label):
             cross_domain_ratio=0.10,
             failure_model=failure_model,
             latency_profile="wide-area",
+            figure=f"fig10{label}",
         )
 
     series = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -23,6 +23,7 @@ def test_figure11_mobile_wide_area(benchmark, failure_model, label):
             ),
             failure_model=failure_model,
             latency_profile="wide-area",
+            figure=f"fig11{label}",
         )
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

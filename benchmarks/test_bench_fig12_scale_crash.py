@@ -16,6 +16,7 @@ def test_figure12_domain_size_crash(benchmark):
             title="Figure 12: increasing crash-only domain size (|p| = 3, 5, 9)",
             failure_model=FailureModel.CRASH,
             faults_levels=(1, 2, 4),
+            figure="fig12",
         )
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

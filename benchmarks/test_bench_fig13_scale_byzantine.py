@@ -17,6 +17,7 @@ def test_figure13_domain_size_byzantine(benchmark):
             failure_model=FailureModel.BYZANTINE,
             faults_levels=(1, 2, 4),
             load=16,
+            figure="fig13",
         )
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -61,6 +61,16 @@ class BaselineDeployment(SaguaroDeployment):
             node.register_component(InternalTransactionProtocol(node))
 
     @property
+    def guarantees_cross_order(self) -> bool:
+        """AHL's single reference committee serialises all cross-shard
+        transactions, so conflict order is globally consistent.  The
+        simplified SharPer baseline commits a flattened instance when vote
+        quorums arrive, without per-shard sequence numbers, so two conflicting
+        instances may commit in different orders on different shards — the
+        checker must not assert an order the protocol never promises."""
+        return self.system == AHL
+
+    @property
     def reference_committee_domain(self):
         """The committee (root) domain; meaningful for AHL deployments."""
         return self.hierarchy.root

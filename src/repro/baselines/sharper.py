@@ -123,6 +123,9 @@ class SharperCrossShardProtocol(ProtocolComponent):
         super().__init__(node)
         self._instances: Dict[TransactionId, _InstanceState] = {}
         self._held: List[SharperPropose] = []
+        #: Votes that arrived before this node saw the propose; replayed when
+        #: the instance is created (votes race proposes across clusters).
+        self._early_votes: Dict[TransactionId, List[SharperVote]] = {}
         self._next_sequence = 1
 
     # ------------------------------------------------------------------ dispatch
@@ -175,11 +178,21 @@ class SharperCrossShardProtocol(ProtocolComponent):
             self.node.reply_to_client(request.client_address, transaction, True)
             return True
         state = self._instances.get(transaction.tid)
+        if state is not None and state.in_flight:
+            # A retransmission of an instance that is still running: remember
+            # where to reply, but do not restart it — restarting re-arms the
+            # retry timer, and clients retransmit faster than it fires, so the
+            # escalation path would be starved forever.
+            state.client_address = request.client_address
+            return True
         if state is None:
             state = self._ensure_instance(
                 transaction, self.node.domain.id, attempt=1
             )
         state.client_address = request.client_address
+        if state.aborted:
+            self.node.reply_to_client(request.client_address, transaction, False)
+            return True
         self._start_instance(state)
         return True
 
@@ -213,6 +226,10 @@ class SharperCrossShardProtocol(ProtocolComponent):
                 self._broadcast_abort(current, will_retry=False)
                 current.aborted = True
                 self.node.note_abort(tid, "sharper: max attempts")
+                if current.client_address:
+                    self.node.reply_to_client(
+                        current.client_address, current.transaction, False
+                    )
                 return
             self._broadcast_abort(current, will_retry=True)
             current.attempt += 1
@@ -243,6 +260,9 @@ class SharperCrossShardProtocol(ProtocolComponent):
                 transaction=transaction, initiator_domain=initiator, attempt=attempt
             )
             self._instances[transaction.tid] = state
+            # Votes from other clusters may have raced the propose here.
+            for vote in self._early_votes.pop(transaction.tid, ()):  # replay
+                self._record_vote(state, vote)
         state.attempt = max(state.attempt, attempt)
         return state
 
@@ -303,7 +323,12 @@ class SharperCrossShardProtocol(ProtocolComponent):
 
     def _on_vote(self, vote: SharperVote) -> bool:
         state = self._instances.get(vote.tid)
-        if state is None or state.committed or state.aborted:
+        if state is None:
+            # The propose has not reached this node yet; buffer the vote so
+            # the quorum count is not silently starved.
+            self._early_votes.setdefault(vote.tid, []).append(vote)
+            return True
+        if state.committed or state.aborted:
             return True
         self._record_vote(state, vote)
         return True

@@ -8,8 +8,10 @@ from repro.consensus.messages import (
     PaxosAccepted,
     PaxosLearn,
     PbftCommit,
+    PbftDecide,
     PbftPrePrepare,
     PbftPrepare,
+    SlotStatusQuery,
     ViewChange,
 )
 from repro.consensus.paxos import PaxosEngine
@@ -34,8 +36,10 @@ __all__ = [
     "PaxosAccepted",
     "PaxosLearn",
     "PbftCommit",
+    "PbftDecide",
     "PbftPrePrepare",
     "PbftPrepare",
+    "SlotStatusQuery",
     "ViewChange",
     "PaxosEngine",
     "PbftEngine",

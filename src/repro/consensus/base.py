@@ -14,11 +14,18 @@ import abc
 from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.common.types import DomainId, FailureModel
+from repro.consensus.messages import SlotStatusQuery
 from repro.crypto.digests import digest
 from repro.errors import ConsensusError, NotPrimaryError
 from repro.topology.domain import Domain
 
-__all__ = ["ConsensusHost", "ConsensusEngine", "DecisionLog"]
+__all__ = ["ConsensusHost", "ConsensusEngine", "DecisionLog", "GAP_RECOVERY_MS"]
+
+#: How long a delivery gap (decided-but-undeliverable slots) may persist
+#: before the engine asks its peers for the missing decision.  Long enough
+#: that ordinary out-of-order decides never trigger a query; short enough
+#: that a lost vote does not wedge a domain.
+GAP_RECOVERY_MS = 150.0
 
 
 class ConsensusHost(Protocol):
@@ -65,6 +72,20 @@ class DecisionLog:
     def is_decided(self, slot: int) -> bool:
         return slot in self._decided or slot < self._next_to_deliver
 
+    @property
+    def has_gap(self) -> bool:
+        """True when decided slots are waiting on an earlier, missing one."""
+        return bool(self._decided)
+
+    def payload_of(self, slot: int) -> Optional[Any]:
+        """The decided payload of ``slot`` (``None`` if undecided)."""
+        if slot in self._decided:
+            return self._decided[slot]
+        if 1 <= slot < self._next_to_deliver:
+            # Delivery is strictly sequential, so slot n sits at index n - 1.
+            return self._delivered[slot - 1][1]
+        return None
+
     def record(self, slot: int, payload: Any) -> None:
         """Record a decision; deliver it (and any now-unblocked successors)."""
         if self.is_decided(slot):
@@ -88,6 +109,7 @@ class ConsensusEngine(abc.ABC):
         self._next_slot = 1
         self._log = DecisionLog(host.consensus_decided)
         self._proposals: Dict[int, Any] = {}
+        self._recovery_timer: Any = None
 
     # -- introspection -------------------------------------------------------------
 
@@ -119,6 +141,36 @@ class ConsensusEngine(abc.ABC):
         if hasattr(payload, "canonical_bytes"):
             return payload.canonical_bytes()
         return digest(repr(payload))
+
+    # -- tracing ---------------------------------------------------------------
+
+    def _trace(
+        self,
+        kind: str,
+        slot: int,
+        payload: Any = None,
+        payload_digest: Optional[bytes] = None,
+        **detail: Any,
+    ) -> None:
+        """Record a protocol event on the host's run trace, if it keeps one."""
+        recorder = getattr(self._host, "record_trace", None)
+        if recorder is None:
+            return
+        trace = getattr(self._host, "trace", None)
+        if trace is not None and not trace.enabled:
+            return  # opted out: skip the digest work too, this path is hot
+        if payload_digest is None and payload is not None:
+            payload_digest = self.payload_digest(payload)
+        transaction = getattr(payload, "transaction", None)
+        tid = getattr(transaction, "tid", None) or getattr(payload, "tid", None)
+        recorder(
+            kind,
+            slot=slot,
+            view=self._view,
+            digest=payload_digest,
+            tid=tid,
+            **detail,
+        )
 
     # -- API used by the node layer ---------------------------------------------------
 
@@ -152,7 +204,71 @@ class ConsensusEngine(abc.ABC):
             self._next_slot = slot + 1
 
     def _record_decision(self, slot: int, payload: Any) -> None:
+        if not self._log.is_decided(slot):
+            self._trace("decide", slot=slot, payload=payload)
         self._log.record(slot, payload)
+        self._maybe_arm_gap_recovery()
 
     def is_decided(self, slot: int) -> bool:
         return self._log.is_decided(slot)
+
+    # -- loss recovery -----------------------------------------------------------------
+
+    def _maybe_arm_gap_recovery(self) -> None:
+        """Watch a delivery gap: if it persists, ask peers for the decision.
+
+        A gap (later slots decided while an earlier one is missing) normally
+        closes within a round trip; one that persists means the votes or the
+        proposal for the missing slot were lost, and nothing in the normal
+        case would ever retransmit them.
+        """
+        if not self._log.has_gap:
+            return
+        if self._recovery_timer is not None and self._recovery_timer.active:
+            return
+        self._recovery_timer = self._host.set_timer(
+            GAP_RECOVERY_MS, self._recover_gap
+        )
+
+    def _recover_gap(self) -> None:
+        self._recovery_timer = None
+        if not self._log.has_gap:
+            return
+        missing = self._log.next_slot_to_deliver
+        self._trace("gap-query", slot=missing)
+        self._broadcast(
+            SlotStatusQuery(
+                domain=self._domain.id,
+                view=self._view,
+                slot=missing,
+                sender=self._host.address,
+            )
+        )
+        # Peers that decided the slot will echo it; if nobody did (the votes
+        # themselves were lost), retransmitting our own proposal/votes lets
+        # the quorum re-form.
+        self._retransmit_slot(missing)
+        self._maybe_arm_gap_recovery()
+
+    def _retransmit_slot(self, slot: int) -> None:
+        """Re-send whatever this node contributed to an undecided ``slot``.
+
+        Engine-specific; the default does nothing.  Retransmissions reuse the
+        original payloads and digests, so they are idempotent at receivers.
+        """
+
+    def _handle_slot_query(self, message: Any, sender: str) -> bool:
+        """Shared handling of :class:`SlotStatusQuery`; engines call this first."""
+        if not isinstance(message, SlotStatusQuery):
+            return False
+        if self._log.is_decided(message.slot):
+            payload = self._log.payload_of(message.slot)
+            if payload is not None:
+                self._host.send_protocol_message(
+                    sender, self._decide_echo(message.slot, payload)
+                )
+        return True
+
+    def _decide_echo(self, slot: int, payload: Any) -> Any:
+        """The engine-specific decided-slot echo message."""
+        raise NotImplementedError

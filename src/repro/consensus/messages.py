@@ -93,6 +93,35 @@ class PbftCommit(ConsensusMessage):
     sender: str = ""
 
 
+@dataclass(frozen=True)
+class PbftDecide(ConsensusMessage):
+    """Decided-slot echo answering a :class:`SlotStatusQuery`.
+
+    Carries the decided payload so a node that missed the pre-prepare (or
+    whose commit votes were lost) can catch up.  Receivers that hold a
+    *conflicting* payload for the slot refuse the echo — a Byzantine peer must
+    not be able to overwrite a locally prepared value.
+    """
+
+    payload: Any = None
+
+
+# -- loss recovery -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SlotStatusQuery(ConsensusMessage):
+    """Ask domain peers for the decision of an undelivered ``slot``.
+
+    Sent by a node whose decision log has a *gap* (later slots decided but an
+    earlier one missing) that persists — the signature of lost consensus
+    messages.  Peers that decided the slot answer with a decide echo
+    (:class:`PaxosLearn` / :class:`PbftDecide`).
+    """
+
+    sender: str = ""
+
+
 # -- view change ------------------------------------------------------------------------
 
 

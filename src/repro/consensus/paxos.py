@@ -42,6 +42,8 @@ class PaxosEngine(ConsensusEngine):
         self._proposals[slot] = payload
         self._accepted_payload[slot] = payload
         self._accept_votes.setdefault(slot, set()).add(self._host.address)
+        self._trace("propose", slot=slot, payload=payload)
+        self._trace("accept-vote", slot=slot, payload=payload)
         message = PaxosAccept(
             domain=self.domain.id, view=self.view, slot=slot, payload=payload
         )
@@ -51,7 +53,27 @@ class PaxosEngine(ConsensusEngine):
 
     # -- message handling -----------------------------------------------------------
 
+    def _decide_echo(self, slot: int, payload: Any) -> Any:
+        return PaxosLearn(
+            domain=self.domain.id, view=self.view, slot=slot, payload=payload
+        )
+
+    def _retransmit_slot(self, slot: int) -> None:
+        """Loss recovery: the leader re-runs the accept round for ``slot``."""
+        if self.is_decided(slot) or not self.is_primary:
+            return
+        payload = self._accepted_payload.get(slot)
+        if payload is None:
+            return
+        self._broadcast(
+            PaxosAccept(
+                domain=self.domain.id, view=self.view, slot=slot, payload=payload
+            )
+        )
+
     def handle_message(self, message: Any, sender: str) -> bool:
+        if self._handle_slot_query(message, sender):
+            return True
         if isinstance(message, PaxosAccept):
             self._on_accept(message, sender)
         elif isinstance(message, PaxosAccepted):
@@ -71,11 +93,16 @@ class PaxosEngine(ConsensusEngine):
             return  # stale leader
         self._observe_slot(message.slot)
         self._accepted_payload[message.slot] = message.payload
+        digest = self.payload_digest(message.payload)
+        self._trace(
+            "accept-vote", slot=message.slot, payload=message.payload,
+            payload_digest=digest,
+        )
         reply = PaxosAccepted(
             domain=self.domain.id,
             view=message.view,
             slot=message.slot,
-            payload_digest=self.payload_digest(message.payload),
+            payload_digest=digest,
         )
         self._host.send_protocol_message(sender, reply)
 
@@ -168,6 +195,8 @@ class PaxosEngine(ConsensusEngine):
         self._observe_slot(slot)
         self._accepted_payload[slot] = payload
         self._accept_votes.setdefault(slot, set()).add(self._host.address)
+        self._trace("propose", slot=slot, payload=payload)
+        self._trace("accept-vote", slot=slot, payload=payload)
         message = PaxosAccept(
             domain=self.domain.id, view=self.view, slot=slot, payload=payload
         )

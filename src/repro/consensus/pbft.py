@@ -5,6 +5,14 @@ primary assigns a slot with a pre-prepare, replicas exchange prepare messages,
 and once a node holds a prepared certificate it broadcasts a commit; a slot is
 decided when ``2f + 1`` commit votes have been collected.  The view-change
 path replaces a suspected primary and re-proposes pending slots.
+
+Prepare and commit votes are tallied **per payload digest**, not just per
+slot: an equivocating primary that sends conflicting pre-prepares for the same
+(view, slot) therefore splits the vote, and at most one variant can ever reach
+a ``2f + 1`` quorum — conflicting proposals cost liveness of that slot on the
+minority replicas, never safety.  Replicas also refuse to overwrite a payload
+they already hold for a slot within the same view, and record the conflicting
+proposal as equivocation evidence on the run trace.
 """
 
 from __future__ import annotations
@@ -15,12 +23,16 @@ from repro.consensus.base import ConsensusEngine, ConsensusHost
 from repro.consensus.messages import (
     NewView,
     PbftCommit,
+    PbftDecide,
     PbftPrePrepare,
     PbftPrepare,
     ViewChange,
 )
 
 __all__ = ["PbftEngine"]
+
+#: Vote-tally key: (slot, payload digest).
+_VoteKey = Tuple[int, bytes]
 
 
 class PbftEngine(ConsensusEngine):
@@ -29,8 +41,9 @@ class PbftEngine(ConsensusEngine):
     def __init__(self, host: ConsensusHost) -> None:
         super().__init__(host)
         self._payloads: Dict[int, Any] = {}
-        self._prepare_votes: Dict[int, Set[str]] = {}
-        self._commit_votes: Dict[int, Set[str]] = {}
+        self._payload_views: Dict[int, int] = {}
+        self._prepare_votes: Dict[_VoteKey, Set[str]] = {}
+        self._commit_votes: Dict[_VoteKey, Set[str]] = {}
         self._commit_sent: Set[int] = set()
         self._view_change_votes: Dict[int, Set[str]] = {}
         self._view_change_pending: Dict[int, Dict[int, Any]] = {}
@@ -41,9 +54,11 @@ class PbftEngine(ConsensusEngine):
         """Primary-side entry point: pre-prepare the payload in a fresh slot."""
         slot = self.allocate_slot()
         self._proposals[slot] = payload
-        self._payloads[slot] = payload
+        self._adopt_payload(slot, payload, self.view)
         # The primary's pre-prepare counts as its prepare vote.
-        self._prepare_votes.setdefault(slot, set()).add(self._host.address)
+        digest = self.payload_digest(payload)
+        self._prepare_votes.setdefault((slot, digest), set()).add(self._host.address)
+        self._trace("propose", slot=slot, payload=payload, payload_digest=digest)
         message = PbftPrePrepare(
             domain=self.domain.id, view=self.view, slot=slot, payload=payload
         )
@@ -51,15 +66,28 @@ class PbftEngine(ConsensusEngine):
         self._maybe_commit_phase(slot)
         return slot
 
+    def _adopt_payload(self, slot: int, payload: Any, view: int) -> None:
+        self._payloads[slot] = payload
+        self._payload_views[slot] = view
+
     # -- message handling -----------------------------------------------------------------
 
+    def _decide_echo(self, slot: int, payload: Any) -> Any:
+        return PbftDecide(
+            domain=self.domain.id, view=self.view, slot=slot, payload=payload
+        )
+
     def handle_message(self, message: Any, sender: str) -> bool:
+        if self._handle_slot_query(message, sender):
+            return True
         if isinstance(message, PbftPrePrepare):
             self._on_pre_prepare(message, sender)
         elif isinstance(message, PbftPrepare):
             self._on_prepare(message, sender)
         elif isinstance(message, PbftCommit):
             self._on_commit(message, sender)
+        elif isinstance(message, PbftDecide):
+            self._on_decide_echo(message, sender)
         elif isinstance(message, ViewChange):
             self._on_view_change(message, sender)
         elif isinstance(message, NewView):
@@ -72,16 +100,40 @@ class PbftEngine(ConsensusEngine):
         if message.view < self.view:
             return
         self._observe_slot(message.slot)
-        self._payloads[message.slot] = message.payload
-        votes = self._prepare_votes.setdefault(message.slot, set())
+        digest = self.payload_digest(message.payload)
+        held = self._payloads.get(message.slot)
+        if held is not None and message.view <= self._payload_views.get(
+            message.slot, message.view
+        ):
+            held_digest = self.payload_digest(held)
+            if held_digest != digest:
+                # A second, conflicting pre-prepare for the same slot in the
+                # same view: a correct primary never does this.  Refuse it and
+                # leave equivocation evidence on the trace.
+                self._trace(
+                    "equivocation-observed",
+                    slot=message.slot,
+                    payload_digest=digest,
+                    sender=sender,
+                )
+                return
+        else:
+            self._adopt_payload(message.slot, message.payload, message.view)
+        votes = self._prepare_votes.setdefault((message.slot, digest), set())
         # The pre-prepare carries the primary's vote; add our own and tell peers.
         votes.add(sender)
         votes.add(self._host.address)
+        self._trace(
+            "prepare-vote",
+            slot=message.slot,
+            payload=message.payload,
+            payload_digest=digest,
+        )
         prepare = PbftPrepare(
             domain=self.domain.id,
             view=message.view,
             slot=message.slot,
-            payload_digest=self.payload_digest(message.payload),
+            payload_digest=digest,
             sender=self._host.address,
         )
         self._broadcast(prepare)
@@ -91,24 +143,31 @@ class PbftEngine(ConsensusEngine):
         if message.view < self.view:
             return
         self._observe_slot(message.slot)
-        self._prepare_votes.setdefault(message.slot, set()).add(sender)
+        self._prepare_votes.setdefault(
+            (message.slot, message.payload_digest), set()
+        ).add(sender)
         self._maybe_commit_phase(message.slot)
 
     def _maybe_commit_phase(self, slot: int) -> None:
         """Enter the commit phase once a prepared certificate is held."""
         if slot in self._commit_sent or self.is_decided(slot):
             return
-        if slot not in self._payloads:
+        payload = self._payloads.get(slot)
+        if payload is None:
             return
-        if len(self._prepare_votes.get(slot, set())) < self.quorum:
+        digest = self.payload_digest(payload)
+        if len(self._prepare_votes.get((slot, digest), set())) < self.quorum:
             return
         self._commit_sent.add(slot)
-        self._commit_votes.setdefault(slot, set()).add(self._host.address)
+        self._commit_votes.setdefault((slot, digest), set()).add(self._host.address)
+        self._trace(
+            "commit-vote", slot=slot, payload=payload, payload_digest=digest
+        )
         commit = PbftCommit(
             domain=self.domain.id,
             view=self.view,
             slot=slot,
-            payload_digest=self.payload_digest(self._payloads[slot]),
+            payload_digest=digest,
             sender=self._host.address,
         )
         self._broadcast(commit)
@@ -118,16 +177,80 @@ class PbftEngine(ConsensusEngine):
         if message.view < self.view:
             return
         self._observe_slot(message.slot)
-        self._commit_votes.setdefault(message.slot, set()).add(sender)
+        self._commit_votes.setdefault(
+            (message.slot, message.payload_digest), set()
+        ).add(sender)
         self._maybe_commit_phase(message.slot)
         self._maybe_decide(message.slot)
 
+    def _retransmit_slot(self, slot: int) -> None:
+        """Loss recovery: re-broadcast our pre-prepare/prepare/commit for ``slot``."""
+        if self.is_decided(slot):
+            return
+        payload = self._payloads.get(slot)
+        if payload is None:
+            return
+        digest = self.payload_digest(payload)
+        if self.is_primary:
+            self._broadcast(
+                PbftPrePrepare(
+                    domain=self.domain.id, view=self.view, slot=slot, payload=payload
+                )
+            )
+        self._broadcast(
+            PbftPrepare(
+                domain=self.domain.id,
+                view=self.view,
+                slot=slot,
+                payload_digest=digest,
+                sender=self._host.address,
+            )
+        )
+        if slot in self._commit_sent:
+            self._broadcast(
+                PbftCommit(
+                    domain=self.domain.id,
+                    view=self.view,
+                    slot=slot,
+                    payload_digest=digest,
+                    sender=self._host.address,
+                )
+            )
+
+    def _on_decide_echo(self, message: PbftDecide, sender: str) -> None:
+        """Adopt a peer's decided slot, unless it conflicts with ours.
+
+        The echo lets a node that missed the pre-prepare or whose commit
+        votes were lost catch up.  A node holding a *different* payload for
+        the slot refuses: without a transferable ``2f + 1`` proof a single
+        peer must not be able to overwrite a locally prepared value.
+        """
+        if self.is_decided(message.slot):
+            return
+        self._observe_slot(message.slot)
+        digest = self.payload_digest(message.payload)
+        held = self._payloads.get(message.slot)
+        if held is not None and self.payload_digest(held) != digest:
+            self._trace(
+                "equivocation-observed",
+                slot=message.slot,
+                payload_digest=digest,
+                sender=sender,
+            )
+            return
+        self._adopt_payload(message.slot, message.payload, message.view)
+        self._record_decision(message.slot, message.payload)
+
     def _maybe_decide(self, slot: int) -> None:
-        if self.is_decided(slot) or slot not in self._payloads:
+        if self.is_decided(slot):
             return
-        if len(self._commit_votes.get(slot, set())) < self.quorum:
+        payload = self._payloads.get(slot)
+        if payload is None:
             return
-        self._record_decision(slot, self._payloads[slot])
+        digest = self.payload_digest(payload)
+        if len(self._commit_votes.get((slot, digest), set())) < self.quorum:
+            return
+        self._record_decision(slot, payload)
 
     # -- view change --------------------------------------------------------------------------
 
@@ -190,8 +313,10 @@ class PbftEngine(ConsensusEngine):
 
     def _repropose_in_slot(self, slot: int, payload: Any) -> None:
         self._observe_slot(slot)
-        self._payloads[slot] = payload
-        self._prepare_votes.setdefault(slot, set()).add(self._host.address)
+        self._adopt_payload(slot, payload, self.view)
+        digest = self.payload_digest(payload)
+        self._prepare_votes.setdefault((slot, digest), set()).add(self._host.address)
+        self._trace("propose", slot=slot, payload=payload, payload_digest=digest)
         message = PbftPrePrepare(
             domain=self.domain.id, view=self.view, slot=slot, payload=payload
         )

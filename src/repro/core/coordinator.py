@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.common.types import DomainId, TransactionId, TransactionKind, TransactionStatus
 from repro.core.messages import (
+    ClientReply,
     ClientRequest,
     CommitQuery,
     CoordinatorCommitOrder,
@@ -190,7 +191,25 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             return True  # replicas learn through internal consensus
         tid = forward.transaction.tid
         if tid in self._coord or tid in self._coord_pending:
+            state = self._coord.get(tid)
+            if state is not None and state.aborted:
+                # The client is retransmitting a transaction this coordinator
+                # already gave up on — the final abort may have been lost, so
+                # repeat it instead of silently swallowing the forward.
+                abort = CrossAbort(
+                    tid=tid,
+                    coordinator_domain=self.node.domain.id,
+                    request_digest=state.transaction.request_digest,
+                    reason="already aborted",
+                    will_retry=False,
+                )
+                self.node.multicast_domains(
+                    list(state.transaction.involved_domains), abort
+                )
             return True  # duplicate forward
+        self.node.record_trace(
+            "handoff:forward", tid=tid, origin=forward.origin_domain.name
+        )
         # Conflicting requests coordinated by this domain are pipelined: the
         # prepare message carries explicit ordering dependencies (``after``)
         # instead of holding the new request back until the earlier commits.
@@ -231,6 +250,13 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
     def _send_prepares(self, state: _CoordinationState) -> None:
         transaction = state.transaction
         certificate = self.node.certify(transaction.request_digest)
+        self.node.record_trace(
+            "handoff:prepare",
+            tid=transaction.tid,
+            digest=transaction.request_digest,
+            attempt=state.attempt,
+            participants=[d.name for d in transaction.involved_domains],
+        )
         for domain_id in transaction.involved_domains:
             prepare = CrossPrepare(
                 transaction=transaction,
@@ -313,6 +339,12 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
         state.aborted = True
         if state.timer is not None:
             state.timer.cancel()
+        self.node.record_trace(
+            "handoff:abort",
+            tid=state.transaction.tid,
+            reason=reason,
+            will_retry=will_retry,
+        )
         abort = CrossAbort(
             tid=state.transaction.tid,
             coordinator_domain=self.node.domain.id,
@@ -357,6 +389,12 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             pass
         if self.node.is_primary:
             certificate = self.node.certify(order.request_digest)
+            self.node.record_trace(
+                "handoff:commit",
+                tid=order.tid,
+                digest=order.request_digest,
+                participants=[d.name for d, _ in order.sequence_parts],
+            )
             commit = CrossCommit(
                 tid=order.tid,
                 coordinator_domain=self.node.domain.id,
@@ -504,6 +542,12 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
 
     def _send_prepared(self, state: _ParticipantState) -> None:
         certificate = self.node.certify(state.transaction.request_digest)
+        self.node.record_trace(
+            "handoff:prepared",
+            tid=state.transaction.tid,
+            slot=state.participant_sequence,
+            coordinator=state.coordinator_domain.name,
+        )
         prepared = CrossPrepared(
             tid=state.transaction.tid,
             participant_domain=self.node.domain.id,
@@ -623,6 +667,18 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
                         state.transaction,
                         success=False,
                     )
+        elif state is None and not abort.will_retry:
+            # Final abort for an attempt this domain never ordered (e.g. the
+            # retried prepare was lost or wedged behind a faulty slot): the
+            # abort is still this transaction's final state, so record it and
+            # answer the waiting client instead of leaving it retransmitting.
+            self._part_pending.pop(abort.tid, None)
+            self.node.note_abort(abort.tid, abort.reason)
+            if self.node.is_primary and abort.tid in self._client_of:
+                reply = ClientReply(
+                    tid=abort.tid, success=False, responder=self.node.address
+                )
+                self.node.send(self._client_of.pop(abort.tid), reply)
         if self.node.is_primary:
             self._drain_participant_queue()
         return True

@@ -23,6 +23,8 @@ from repro.core.messages import ClientReply
 from repro.crypto.certificates import QuorumCertificate, Signer
 from repro.crypto.keys import KeyStore
 from repro.errors import ConfigurationError
+from repro.faults.behaviors import AdversaryControls
+from repro.faults.trace import TraceRecorder
 from repro.ledger.chain import LinearLedger
 from repro.ledger.dag import DagLedger
 from repro.ledger.abstraction import SummarizedView
@@ -78,6 +80,7 @@ class SaguaroNode:
         application: Application,
         keystore: KeyStore,
         metrics: Optional[MetricsCollector] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         if domain.is_leaf:
             raise ConfigurationError("leaf domains host edge devices, not servers")
@@ -90,6 +93,9 @@ class SaguaroNode:
         self.application = application
         self.keystore = keystore
         self.metrics = metrics
+        self.trace = trace
+        #: Byzantine-behavior switchboard; inert unless a fault plan arms it.
+        self.adversary = AdversaryControls()
 
         self.cpu = CpuQueue()
         self.costs = config.costs_for(domain.failure_model)
@@ -207,7 +213,7 @@ class SaguaroNode:
         return [n.name for n in self._domain.node_ids if n != self._node_id]
 
     def send_protocol_message(self, to_address: str, message: Any) -> None:
-        self.network.send(self.address, to_address, message)
+        self.send(to_address, message)
 
     def now(self) -> float:
         return self.simulator.now
@@ -228,7 +234,23 @@ class SaguaroNode:
     # ------------------------------------------------------------------ messaging helpers
 
     def send(self, to_address: str, message: Any) -> None:
+        message = self.adversary.outbound(self, to_address, message)
+        if message is None:
+            return
         self.network.send(self.address, to_address, message)
+
+    # ------------------------------------------------------------------ tracing
+
+    def record_trace(self, kind: str, **fields: Any) -> None:
+        """Append one event to the deployment's run trace (no-op without one)."""
+        if self.trace is not None:
+            self.trace.record(
+                kind,
+                at_ms=self.simulator.now,
+                domain=self._domain.id.name,
+                node=self.address,
+                **fields,
+            )
 
     def nodes_of(self, domain_id: DomainId) -> List[str]:
         return self.hierarchy.domain(domain_id).node_names
@@ -261,7 +283,14 @@ class SaguaroNode:
         contributions: Dict[str, bytes] = {}
         for node_name in self._domain.node_names[:required]:
             contributions[node_name] = self.keystore.sign(node_name, payload_digest)
-        return self.signer.certify(payload_digest, contributions, required)
+        certificate = self.signer.certify(payload_digest, contributions, required)
+        self.record_trace(
+            "certify",
+            digest=payload_digest,
+            signers=list(certificate.signers),
+            required=required,
+        )
+        return certificate
 
     def reply_to_client(
         self,
@@ -290,6 +319,14 @@ class SaguaroNode:
             raise ConfigurationError(f"{self.address} is not a height-1 node")
         record = self.ledger.append_transaction(
             transaction, status=status, commit_time_ms=self.simulator.now
+        )
+        self.record_trace(
+            "append",
+            tid=transaction.tid,
+            slot=record.position,
+            status=status.value,
+            tx_kind=transaction.kind.value,
+            involved=[d.name for d in transaction.involved_domains],
         )
         self.execute_once(transaction)
         for component in self.components:

@@ -348,7 +348,16 @@ class OptimisticCrossDomainProtocol(ProtocolComponent):
         for inconsistency in dag.find_order_inconsistencies(restrict_to=touched):
             victim = inconsistency.victim
             if victim in self._decisions_sent:
-                continue
+                # The preferred victim was already finalized (its commit
+                # decision is out); the other side of the pair must yield, or
+                # both would commit in opposite orders on the shared domains.
+                victim = (
+                    inconsistency.second
+                    if victim == inconsistency.first
+                    else inconsistency.first
+                )
+                if victim in self._decisions_sent:
+                    continue
             dag.mark_aborted(victim)
             self._send_decision(dag.vertex(victim).entry.transaction, commit=False)
         # 3. Fully reported, consistent transactions whose LCA we are: commit.

@@ -24,6 +24,7 @@ from repro.core.node import SaguaroNode
 from repro.core.optimistic import OptimisticCrossDomainProtocol
 from repro.crypto.keys import KeyStore
 from repro.errors import ConfigurationError, UnknownDomainError
+from repro.faults.trace import TraceRecorder
 from repro.ledger.chain import LinearLedger
 from repro.ledger.state import StateStore
 from repro.ledger.abstraction import SummarizedView
@@ -49,6 +50,7 @@ class SaguaroDeployment:
         config: Optional[DeploymentConfig] = None,
         application: Optional[Application] = None,
         hierarchy: Optional[Hierarchy] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         self.config = config or DeploymentConfig()
         self.application = application or KeyValueApplication()
@@ -58,6 +60,9 @@ class SaguaroDeployment:
         )
         self.keystore = KeyStore(seed=self.config.seed)
         self.metrics = MetricsCollector()
+        #: Every run records an ordered protocol event trace; pass a disabled
+        #: ``TraceRecorder(enabled=False)`` to opt out.
+        self.trace = trace if trace is not None else TraceRecorder()
 
         if hierarchy is None:
             hierarchy = build_tree(self.config.hierarchy)
@@ -85,6 +90,7 @@ class SaguaroDeployment:
                     application=self.application,
                     keystore=self.keystore,
                     metrics=self.metrics,
+                    trace=self.trace,
                 )
                 self._register_components(node)
                 self.nodes[node.address] = node
@@ -243,6 +249,13 @@ class SaguaroDeployment:
             for component in node.components:
                 if isinstance(component, LazyPropagation):
                     component.stop()
+
+    #: Whether this deployment's protocols guarantee that conflicting
+    #: cross-domain transactions commit in the same relative order on every
+    #: overlapping domain (the paper's consistency property, Lemma 4.3).  The
+    #: invariant checker asserts cross-domain conflict order only when this
+    #: holds; simplified baselines may opt out.
+    guarantees_cross_order = True
 
     # ------------------------------------------------------------------ reporting helpers
 

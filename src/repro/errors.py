@@ -123,5 +123,9 @@ class WorkloadError(SaguaroError):
     """A workload generator was configured inconsistently."""
 
 
+class InvariantViolationError(SaguaroError):
+    """A recorded run violated a protocol safety or liveness invariant."""
+
+
 class ExperimentError(SaguaroError):
     """An experiment/benchmark harness failure."""

@@ -1,0 +1,39 @@
+"""Fault injection, run tracing, and invariant checking.
+
+Three pieces turn every simulated run into a *checked* execution:
+
+* :class:`FaultPlan` / :class:`FaultAction` — a declarative, JSON
+  round-trippable adversary: crash/recover, timed partitions, loss bursts,
+  and Byzantine behaviors (leader silence, equivocation, stale-certificate
+  replay).  Attach one to a :class:`~repro.scenarios.Scenario` via its
+  ``fault_plan`` field.
+* :class:`TraceRecorder` / :class:`TraceEvent` — the ordered protocol event
+  trace (proposals, votes, decides, appends, certificates, cross-domain
+  handoffs) captured from every deployment run.
+* :class:`InvariantChecker` — replays a trace plus the replica ledgers and
+  asserts safety (unique commits, quorum-backed decisions, certificate
+  validity, cross-domain atomicity) and bounded liveness.
+"""
+
+from repro.faults.behaviors import AdversaryControls, ForgedPayload
+from repro.faults.invariants import (
+    InvariantChecker,
+    InvariantReport,
+    InvariantViolation,
+)
+from repro.faults.plan import BYZANTINE_KINDS, FAULT_KINDS, FaultAction, FaultPlan
+from repro.faults.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "AdversaryControls",
+    "ForgedPayload",
+    "InvariantChecker",
+    "InvariantReport",
+    "InvariantViolation",
+    "FAULT_KINDS",
+    "BYZANTINE_KINDS",
+    "FaultAction",
+    "FaultPlan",
+    "TraceEvent",
+    "TraceRecorder",
+]

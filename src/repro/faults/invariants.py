@@ -1,0 +1,426 @@
+"""Replay a recorded trace and prove safety (and bounded liveness) of a run.
+
+The :class:`InvariantChecker` turns every simulated run from a *trusted*
+execution into a *checked* one.  It combines two evidence sources:
+
+* the live deployment's ledgers (every replica's hash chain), and
+* the run's :class:`~repro.faults.trace.TraceRecorder` event trace.
+
+and asserts the protocol-level invariants that make throughput numbers
+meaningful:
+
+``chain-integrity``
+    Every replica's hash chain verifies end to end.
+``replica-consistency``
+    Within each height-1 domain, every replica's ledger is a prefix of the
+    longest replica ledger (crashed or lagging replicas may be behind, but
+    never divergent).
+``conflicting-decide``
+    No consensus slot is decided with two different payload digests anywhere
+    in the domain (the classic "no two conflicting commits" safety property).
+``decide-quorum``
+    Every decided (domain, slot, digest) is backed by at least a quorum of
+    *cast* votes from distinct domain members, under the domain's **real**
+    quorum rule — regardless of what the engine believed at run time.
+``certificate-quorum``
+    Every emitted quorum certificate carries the required number of distinct
+    signatures from members of the certifying domain.
+``cross-atomicity``
+    A cross-domain transaction is committed on *all* of its involved domains
+    or on none of them.
+``liveness`` (optional)
+    Every issued transaction reached a final state (committed or aborted);
+    checked only when the fault plan leaves each domain within its fault
+    tolerance (``expect_liveness`` overrides the auto decision).
+
+``check()`` returns an :class:`InvariantReport`; ``assert_ok()`` raises
+:class:`~repro.errors.InvariantViolationError` listing every violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.common.types import TransactionStatus
+from repro.errors import ChainIntegrityError, InvariantViolationError
+from repro.faults.trace import TraceRecorder
+
+__all__ = ["InvariantViolation", "InvariantReport", "InvariantChecker"]
+
+#: Trace kinds that count as consensus votes for the decide-quorum check.
+_VOTE_KINDS = ("commit-vote", "accept-vote")
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant, with enough context to debug the run."""
+
+    invariant: str
+    detail: str
+    domain: Optional[str] = None
+    tid: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" [{self.domain}]" if self.domain else ""
+        what = f" {self.tid}" if self.tid else ""
+        return f"{self.invariant}{where}{what}: {self.detail}"
+
+
+class InvariantReport:
+    """The outcome of one invariant-checking pass."""
+
+    def __init__(
+        self, violations: List[InvariantViolation], checks_run: Tuple[str, ...]
+    ) -> None:
+        self.violations = list(violations)
+        self.checks_run = checks_run
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def of(self, invariant: str) -> List[InvariantViolation]:
+        return [v for v in self.violations if v.invariant == invariant]
+
+    def raise_if_violated(self) -> None:
+        if self.violations:
+            rendered = "\n  ".join(str(v) for v in self.violations)
+            raise InvariantViolationError(
+                f"{len(self.violations)} invariant violation(s):\n  {rendered}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"InvariantReport({state}, checks={list(self.checks_run)})"
+
+
+class InvariantChecker:
+    """Checks safety (and optionally liveness) of one executed deployment."""
+
+    def __init__(
+        self,
+        deployment: Any,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.deployment = deployment
+        self.trace = trace if trace is not None else getattr(deployment, "trace", None)
+        self.hierarchy = deployment.hierarchy
+
+    # ------------------------------------------------------------------ entry points
+
+    def check(self, expect_liveness: bool = False) -> InvariantReport:
+        violations: List[InvariantViolation] = []
+        checks = [
+            "chain-integrity",
+            "replica-consistency",
+            "cross-atomicity",
+        ]
+        violations += self._check_chain_integrity()
+        violations += self._check_replica_consistency()
+        violations += self._check_cross_atomicity()
+        if self.trace is not None and len(self.trace):
+            checks += ["conflicting-decide", "decide-quorum", "certificate-quorum"]
+            violations += self._check_decides()
+            violations += self._check_certificates()
+        if expect_liveness:
+            checks.append("liveness")
+            violations += self._check_liveness()
+        return InvariantReport(violations, tuple(checks))
+
+    def assert_ok(self, expect_liveness: bool = False) -> InvariantReport:
+        report = self.check(expect_liveness=expect_liveness)
+        report.raise_if_violated()
+        return report
+
+    # ------------------------------------------------------------------ ledger-based checks
+
+    def _domain_ledgers(self, domain_id) -> List[Tuple[str, Any]]:
+        ledgers = []
+        for node in self.deployment.nodes_of(domain_id):
+            if node.ledger is not None:
+                ledgers.append((node.address, node.ledger))
+        return ledgers
+
+    def _check_chain_integrity(self) -> List[InvariantViolation]:
+        violations = []
+        for domain in self.hierarchy.height1_domains():
+            for address, ledger in self._domain_ledgers(domain.id):
+                try:
+                    ledger.verify_integrity()
+                except ChainIntegrityError as exc:
+                    violations.append(
+                        InvariantViolation(
+                            invariant="chain-integrity",
+                            domain=domain.id.name,
+                            detail=f"{address}: {exc}",
+                        )
+                    )
+        return violations
+
+    def _check_replica_consistency(self) -> List[InvariantViolation]:
+        """Replicas of one domain must agree on committed content, and the
+        domains of the hierarchy must agree on the order of conflicts.
+
+        Two properties, matching what the protocols guarantee (replica ledgers
+        are eventually-consistent mirrors — cross-domain commits apply on
+        receipt, so *non-conflicting* entries may interleave differently per
+        replica):
+
+        * the same transaction id always commits with the same transaction
+          content everywhere (an equivocating primary forging a variant
+          breaks this);
+        * cross-domain transactions that overlap in at least two domains are
+          committed in the same relative order on every overlapping domain's
+          ledger (the paper's consistency property, Lemma 4.3).
+        """
+        violations = []
+        for domain in self.hierarchy.height1_domains():
+            ledgers = self._domain_ledgers(domain.id)
+            content: Dict[Any, Tuple[str, bytes]] = {}
+            for address, ledger in ledgers:
+                for record in ledger:
+                    canonical = record.entry.transaction.canonical_bytes()
+                    seen = content.get(record.entry.tid)
+                    if seen is None:
+                        content[record.entry.tid] = (address, canonical)
+                    elif seen[1] != canonical:
+                        violations.append(
+                            InvariantViolation(
+                                invariant="replica-consistency",
+                                domain=domain.id.name,
+                                tid=record.entry.tid.name,
+                                detail=(
+                                    f"{address} committed different content than "
+                                    f"{seen[0]} for the same transaction id"
+                                ),
+                            )
+                        )
+        if getattr(self.deployment, "guarantees_cross_order", True):
+            violations += self._check_cross_domain_order()
+        return violations
+
+    def _check_cross_domain_order(self) -> List[InvariantViolation]:
+        """Overlapping cross-domain txs are ordered identically across domains."""
+        violations = []
+        positions: Dict[str, Dict[Any, int]] = {}
+        transactions: Dict[Any, Any] = {}
+        ordered_tids: List[Any] = []
+        for domain in self.hierarchy.height1_domains():
+            reference = self._reference_ledger(domain.id)
+            if reference is None:
+                continue
+            per_domain: Dict[Any, int] = {}
+            for record in reference:
+                transaction = record.entry.transaction
+                if not transaction.is_cross_domain:
+                    continue
+                # Only committed survivors are order-constrained: the
+                # optimistic protocol appends eagerly and aborts losers, and
+                # aborted entries may legitimately sit at different positions.
+                if record.entry.status is not TransactionStatus.COMMITTED:
+                    continue
+                per_domain[record.entry.tid] = record.position
+                if record.entry.tid not in transactions:
+                    transactions[record.entry.tid] = transaction
+                    ordered_tids.append(record.entry.tid)
+            positions[domain.id.name] = per_domain
+        for i, first in enumerate(ordered_tids):
+            for second in ordered_tids[i + 1 :]:
+                overlap = set(transactions[first].involved_domains) & set(
+                    transactions[second].involved_domains
+                )
+                if len(overlap) < 2:
+                    continue
+                orders = {}
+                for domain_id in overlap:
+                    per_domain = positions.get(domain_id.name, {})
+                    if first in per_domain and second in per_domain:
+                        orders[domain_id.name] = (
+                            per_domain[first] < per_domain[second]
+                        )
+                if len(set(orders.values())) > 1:
+                    violations.append(
+                        InvariantViolation(
+                            invariant="replica-consistency",
+                            tid=first.name,
+                            detail=(
+                                f"conflicting cross-domain transactions "
+                                f"{first.name} and {second.name} are ordered "
+                                f"differently across domains: {orders}"
+                            ),
+                        )
+                    )
+        return violations
+
+    def _reference_ledger(self, domain_id) -> Optional[Any]:
+        ledgers = self._domain_ledgers(domain_id)
+        if not ledgers:
+            return None
+        return max(ledgers, key=lambda item: len(item[1]))[1]
+
+    def _check_cross_atomicity(self) -> List[InvariantViolation]:
+        violations = []
+        # Gather every cross-domain entry observed on any reference ledger.
+        status_by_tid: Dict[Any, Dict[str, TransactionStatus]] = {}
+        involved_by_tid: Dict[Any, Tuple[Any, ...]] = {}
+        references = {}
+        for domain in self.hierarchy.height1_domains():
+            reference = self._reference_ledger(domain.id)
+            references[domain.id] = reference
+            if reference is None:
+                continue
+            for entry in reference.entries():
+                if not entry.transaction.is_cross_domain:
+                    continue
+                involved_by_tid[entry.tid] = entry.transaction.involved_domains
+                status_by_tid.setdefault(entry.tid, {})[domain.id.name] = entry.status
+        for tid, statuses in status_by_tid.items():
+            committed_on = [
+                name
+                for name, status in statuses.items()
+                if status is TransactionStatus.COMMITTED
+            ]
+            if not committed_on:
+                continue
+            involved = involved_by_tid[tid]
+            missing = [
+                domain_id.name
+                for domain_id in involved
+                if statuses.get(domain_id.name) is not TransactionStatus.COMMITTED
+            ]
+            if missing:
+                violations.append(
+                    InvariantViolation(
+                        invariant="cross-atomicity",
+                        tid=tid.name,
+                        detail=(
+                            f"committed on {sorted(committed_on)} but not on "
+                            f"{sorted(missing)} (involved: "
+                            f"{[d.name for d in involved]})"
+                        ),
+                    )
+                )
+        return violations
+
+    # ------------------------------------------------------------------ trace-based checks
+
+    def _check_decides(self) -> List[InvariantViolation]:
+        violations = []
+        assert self.trace is not None
+        digests: Dict[Tuple[str, int], Set[str]] = {}
+        votes: Dict[Tuple[str, int, str], Set[str]] = {}
+        for event in self.trace:
+            if event.domain is None or event.slot is None:
+                continue
+            if event.kind == "decide" and event.digest is not None:
+                digests.setdefault((event.domain, event.slot), set()).add(event.digest)
+            elif event.kind in _VOTE_KINDS and event.digest is not None:
+                key = (event.domain, event.slot, event.digest)
+                votes.setdefault(key, set()).add(event.node or "?")
+        for (domain_name, slot), decided in sorted(digests.items()):
+            if len(decided) > 1:
+                violations.append(
+                    InvariantViolation(
+                        invariant="conflicting-decide",
+                        domain=domain_name,
+                        detail=(
+                            f"slot {slot} decided with {len(decided)} different "
+                            f"payloads: {sorted(d[:12] for d in decided)}"
+                        ),
+                    )
+                )
+            quorum = self._real_quorum(domain_name)
+            if quorum is None:
+                continue
+            for digest_hex in decided:
+                cast = votes.get((domain_name, slot, digest_hex), set())
+                if len(cast) < quorum:
+                    violations.append(
+                        InvariantViolation(
+                            invariant="decide-quorum",
+                            domain=domain_name,
+                            detail=(
+                                f"slot {slot} (digest {digest_hex[:12]}) decided "
+                                f"with only {len(cast)} cast vote(s); the real "
+                                f"quorum is {quorum}"
+                            ),
+                        )
+                    )
+        return violations
+
+    def _real_quorum(self, domain_name: str) -> Optional[int]:
+        domain = self._domain_by_name(domain_name)
+        if domain is None:
+            return None
+        return domain.quorum
+
+    def _domain_by_name(self, domain_name: str) -> Optional[Any]:
+        for domain in self.hierarchy.server_domains():
+            if domain.id.name == domain_name:
+                return domain
+        return None
+
+    def _check_certificates(self) -> List[InvariantViolation]:
+        violations = []
+        assert self.trace is not None
+        for event in self.trace.events("certify"):
+            domain = self._domain_by_name(event.domain) if event.domain else None
+            if domain is None:
+                violations.append(
+                    InvariantViolation(
+                        invariant="certificate-quorum",
+                        domain=event.domain,
+                        detail="certificate emitted by unknown domain",
+                    )
+                )
+                continue
+            signers = list(event.get("signers", ()))
+            required = event.get("required", 0)
+            members = set(domain.node_names)
+            problems = []
+            if required != domain.certificate_size:
+                problems.append(
+                    f"required={required} but the domain's certificate size "
+                    f"is {domain.certificate_size}"
+                )
+            if len(set(signers)) < len(signers):
+                problems.append("duplicate signers")
+            if len(set(signers)) < required:
+                problems.append(
+                    f"only {len(set(signers))} distinct signer(s) of {required}"
+                )
+            outsiders = sorted(set(signers) - members)
+            if outsiders:
+                problems.append(f"signers outside the domain: {outsiders}")
+            for problem in problems:
+                violations.append(
+                    InvariantViolation(
+                        invariant="certificate-quorum",
+                        domain=event.domain,
+                        tid=event.tid,
+                        detail=problem,
+                    )
+                )
+        return violations
+
+    # ------------------------------------------------------------------ liveness
+
+    def _check_liveness(self) -> List[InvariantViolation]:
+        violations = []
+        metrics = getattr(self.deployment, "metrics", None)
+        if metrics is None:
+            return violations
+        for record in metrics.records():
+            if not record.is_committed and not record.is_aborted:
+                violations.append(
+                    InvariantViolation(
+                        invariant="liveness",
+                        tid=record.tid.name,
+                        detail=(
+                            f"issued at {record.issued_at:.1f}ms but never "
+                            "reached a final state"
+                        ),
+                    )
+                )
+        return violations

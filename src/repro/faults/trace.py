@@ -1,0 +1,202 @@
+"""Ordered event traces recorded from every simulated run.
+
+A :class:`TraceRecorder` captures the protocol-level history of one run —
+proposals, votes, decisions, ledger appends, certificate emissions, and
+cross-domain handoffs — as a flat, ordered list of :class:`TraceEvent`.
+Recording is append-only and allocation-light (one small frozen record per
+event), so it stays negligible next to the discrete-event simulation itself;
+the :mod:`repro.faults.invariants` checker replays the trace afterwards to
+prove safety properties about the run.
+
+Traces are JSON round-trippable so a failing run can be stored and replayed
+through the checker offline::
+
+    trace2 = TraceRecorder.from_json(trace.to_json())
+    assert list(trace2) == list(trace)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+def _tid_name(tid: Any) -> Optional[str]:
+    """Stable string form of a transaction id (or ``None``)."""
+    if tid is None:
+        return None
+    name = getattr(tid, "name", None)
+    if name is not None:
+        return str(name)
+    return str(tid)
+
+
+def _digest_hex(value: Any) -> Optional[str]:
+    if value is None:
+        return None
+    if isinstance(value, bytes):
+        return value.hex()
+    return str(value)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded protocol event.
+
+    ``kind`` is a short slug (``"propose"``, ``"commit-vote"``, ``"decide"``,
+    ``"append"``, ``"certify"``, ``"handoff:prepare"``, ``"fault:crash"``, ...);
+    the optional columns identify where and what, and ``detail`` carries
+    kind-specific extras (always JSON-safe values).
+    """
+
+    seq: int
+    at_ms: float
+    kind: str
+    domain: Optional[str] = None
+    node: Optional[str] = None
+    tid: Optional[str] = None
+    slot: Optional[int] = None
+    view: Optional[int] = None
+    digest: Optional[str] = None
+    detail: Tuple[Tuple[str, Any], ...] = ()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.detail:
+            if name == key:
+                return value
+        return default
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "at_ms": self.at_ms,
+            "kind": self.kind,
+            "domain": self.domain,
+            "node": self.node,
+            "tid": self.tid,
+            "slot": self.slot,
+            "view": self.view,
+            "digest": self.digest,
+            "detail": {key: value for key, value in self.detail},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceEvent":
+        known = {
+            "seq", "at_ms", "kind", "domain", "node", "tid", "slot", "view",
+            "digest", "detail",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown TraceEvent field(s): {sorted(unknown)}"
+            )
+        detail = data.get("detail") or {}
+        return cls(
+            seq=data["seq"],
+            at_ms=data["at_ms"],
+            kind=data["kind"],
+            domain=data.get("domain"),
+            node=data.get("node"),
+            tid=data.get("tid"),
+            slot=data.get("slot"),
+            view=data.get("view"),
+            digest=data.get("digest"),
+            detail=tuple(sorted(detail.items())),
+        )
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records in arrival order.
+
+    The recorder is enabled by default; a disabled recorder turns
+    :meth:`record` into a no-op so deployments can opt out entirely.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: List[TraceEvent] = []
+
+    # ------------------------------------------------------------------ recording
+
+    def record(
+        self,
+        kind: str,
+        at_ms: float,
+        domain: Optional[str] = None,
+        node: Optional[str] = None,
+        tid: Any = None,
+        slot: Optional[int] = None,
+        view: Optional[int] = None,
+        digest: Any = None,
+        **detail: Any,
+    ) -> None:
+        """Append one event (no-op when the recorder is disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(
+            TraceEvent(
+                seq=len(self._events),
+                at_ms=at_ms,
+                kind=kind,
+                domain=domain,
+                node=node,
+                tid=_tid_name(tid),
+                slot=slot,
+                view=view,
+                digest=_digest_hex(digest),
+                detail=tuple(sorted(detail.items())),
+            )
+        )
+
+    # ------------------------------------------------------------------ access
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        """All events, or only those of one ``kind`` (exact match)."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def events_with_prefix(self, prefix: str) -> List[TraceEvent]:
+        """Events whose kind starts with ``prefix`` (e.g. ``"handoff:"``)."""
+        return [event for event in self._events if event.kind.startswith(prefix)]
+
+    def kinds(self) -> Dict[str, int]:
+        """Histogram of event kinds (insertion-ordered)."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------ serialisation
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [event.to_dict() for event in self._events]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceRecorder":
+        recorder = cls()
+        for entry in data.get("events", ()):
+            recorder._events.append(TraceEvent.from_dict(entry))
+        return recorder
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceRecorder":
+        import json
+
+        return cls.from_dict(json.loads(text))

@@ -28,7 +28,9 @@ from repro.scenarios.spec import (
     SAGUARO_OPTIMISTIC,
     ApplicationSpec,
     DomainOverride,
+    FaultAction,
     FaultEvent,
+    FaultPlan,
     Scenario,
     TopologySpec,
     WorkloadSpec,
@@ -49,6 +51,8 @@ __all__ = [
     "WorkloadSpec",
     "DomainOverride",
     "FaultEvent",
+    "FaultAction",
+    "FaultPlan",
     "SAGUARO_COORDINATOR",
     "SAGUARO_OPTIMISTIC",
     "BASELINE_AHL",

@@ -21,6 +21,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.common.types import FailureModel
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultAction, FaultPlan
 from repro.scenarios.spec import (
     BASELINE_AHL,
     BASELINE_SHARPER,
@@ -41,6 +42,7 @@ __all__ = [
     "series_scenarios",
     "figure_base",
     "PAPER_FIGURES",
+    "ADVERSARIAL_SCENARIOS",
 ]
 
 _REGISTRY: Dict[str, Scenario] = {}
@@ -200,7 +202,109 @@ def _register_paper_figures() -> None:
 
 _register_paper_figures()
 
+
+# ---------------------------------------------------------------------------
+# Adversarial (Byzantine fault-plan) scenarios
+# ---------------------------------------------------------------------------
+
+
+def _register_adversarial_scenarios() -> None:
+    """Hostile variants of the paper's BFT setup, one per adversary class.
+
+    All run the coordinator engine over Byzantine domains with a modest
+    workload, so the invariant checker can verify safety (and, where the
+    faults stay within ``f``, bounded liveness) quickly in tests and CI.
+    """
+    from repro.common.config import TimerConfig
+
+    # Aggressive timers: faulty-period recovery paths (view changes, abort
+    # retries, commit queries) resolve in simulated hundreds of milliseconds
+    # instead of seconds, keeping the hostile scenarios fast enough to check
+    # in every test run.
+    quick_timers = TimerConfig(
+        request_timeout_ms=400.0,
+        cross_domain_timeout_ms=250.0,
+        deadlock_backoff_ms=20.0,
+        commit_query_timeout_ms=250.0,
+        view_change_timeout_ms=300.0,
+    )
+    base = figure_base(
+        "byz-base", FailureModel.BYZANTINE, "nearby-eu", cross_domain_ratio=0.15,
+        num_clients=8,
+    ).with_overrides(
+        num_transactions=48, timers=quick_timers, round_interval_ms=25.0
+    )
+
+    def adversarial(name: str, *actions: FaultAction) -> Scenario:
+        return base.with_overrides(
+            name=name, fault_plan=FaultPlan(name=name, actions=tuple(actions))
+        )
+
+    # A fail-silent height-1 primary: peers must view-change around it, then
+    # it wakes back up in the stale view.
+    register(
+        "byz-leader-silence",
+        adversarial(
+            "byz-leader-silence",
+            FaultAction(kind="silence", at_ms=30.0, domain="D11", until_ms=500.0),
+        ),
+    )
+    # An equivocating height-1 primary: conflicting pre-prepares for the same
+    # slots; the real 2f+1 quorum rule must keep every replica consistent.
+    register(
+        "byz-equivocation",
+        adversarial(
+            "byz-equivocation",
+            FaultAction(kind="equivocate", at_ms=10.0, domain="D11", until_ms=500.0),
+        ),
+    )
+    # Stale-certificate replays from two participant primaries mid-run.
+    register(
+        "byz-stale-certificate",
+        adversarial(
+            "byz-stale-certificate",
+            FaultAction(kind="stale-cert", at_ms=150.0, domain="D12"),
+            FaultAction(kind="stale-cert", at_ms=300.0, domain="D12"),
+            FaultAction(kind="stale-cert", at_ms=300.0, domain="D13"),
+        ),
+    )
+    # A healed partition between a participant domain and its coordinator,
+    # overlapping a network-wide loss burst: commit queries must recover.
+    register(
+        "byz-partition-flap",
+        adversarial(
+            "byz-partition-flap",
+            FaultAction(
+                kind="partition", at_ms=30.0, until_ms=400.0,
+                domain="D11", peer_domain="D21",
+            ),
+            FaultAction(kind="loss", at_ms=50.0, until_ms=300.0, rate=0.1),
+        ),
+    )
+    # A crashed Byzantine replica (not the primary) that later recovers —
+    # within f, so both safety and liveness must hold.
+    register(
+        "byz-crash-recover",
+        adversarial(
+            "byz-crash-recover",
+            FaultAction(kind="crash", at_ms=100.0, domain="D12", node=2),
+            FaultAction(kind="recover", at_ms=500.0, domain="D12", node=2),
+        ),
+    )
+
+
+_register_adversarial_scenarios()
+
 #: The figure names the registry guarantees (tested for completeness).
 PAPER_FIGURES: Tuple[str, ...] = (
     "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+)
+
+#: Registered Byzantine fault-plan scenarios (tested for safety invariants).
+ADVERSARIAL_SCENARIOS: Tuple[str, ...] = (
+    "byz-leader-silence",
+    "byz-equivocation",
+    "byz-stale-certificate",
+    "byz-partition-flap",
+    "byz-crash-recover",
 )

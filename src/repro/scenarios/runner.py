@@ -15,7 +15,14 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import PerformanceSummary
 from repro.errors import ConfigurationError, ExperimentError, UnknownDomainError
-from repro.scenarios.spec import BASELINE_AHL, Scenario, _check_known_keys
+from repro.faults.invariants import InvariantChecker, InvariantReport
+from repro.faults.trace import TraceRecorder
+from repro.scenarios.spec import (
+    BASELINE_AHL,
+    Scenario,
+    _check_known_keys,
+    parse_domain_name,
+)
 from repro.workloads.generator import Workload, WorkloadGenerator
 
 __all__ = ["LoadPoint", "RunResult", "ResultSet", "ScenarioRun", "ScenarioRunner"]
@@ -204,6 +211,43 @@ class ScenarioRun:
     def executed(self) -> bool:
         return self.summary is not None
 
+    @property
+    def trace(self) -> Optional[TraceRecorder]:
+        """The run's recorded protocol event trace."""
+        return getattr(self.deployment, "trace", None)
+
+    def expect_liveness(self) -> bool:
+        """Whether bounded liveness should hold for this scenario's faults."""
+        if not self.scenario.fault_plan.within_tolerance(self.deployment.hierarchy):
+            return False
+        crashed: Dict[str, set] = {}
+        for event in self.scenario.fault_schedule:
+            target = (event.domain, event.node)
+            if event.action == "crash":
+                crashed.setdefault(event.domain, set()).add(target)
+            else:
+                crashed.get(event.domain, set()).discard(target)
+        for name, targets in crashed.items():
+            domain = self.deployment.hierarchy.domain(parse_domain_name(name))
+            if len(targets) > domain.faults:
+                return False
+        return True
+
+    def check_invariants(
+        self, expect_liveness: Optional[bool] = None
+    ) -> InvariantReport:
+        """Run the :class:`InvariantChecker` over this executed run.
+
+        Raises :class:`~repro.errors.InvariantViolationError` on any
+        violation.  ``expect_liveness`` defaults to an automatic decision:
+        liveness is asserted only when the scenario's faults stay within each
+        domain's tolerance.
+        """
+        if expect_liveness is None:
+            expect_liveness = self.expect_liveness()
+        checker = InvariantChecker(self.deployment, trace=self.trace)
+        return checker.assert_ok(expect_liveness=expect_liveness)
+
     def run(self) -> RunResult:
         """Execute the workload (once) and return the structured result."""
         if self.summary is None:
@@ -258,6 +302,7 @@ def materialize(scenario: Scenario, seed: Optional[int] = None) -> ScenarioRun:
             config=config, application=application, hierarchy=hierarchy
         )
     _schedule_faults(scenario, deployment)
+    scenario.fault_plan.arm(deployment)
     return ScenarioRun(
         scenario=scenario, seed=seed, deployment=deployment, workload=workload
     )
@@ -294,20 +339,56 @@ def _schedule_faults(scenario: Scenario, deployment: Any) -> None:
 
 
 class ScenarioRunner:
-    """Executes scenarios: single runs, seed replication, and grid sweeps."""
+    """Executes scenarios: single runs, seed replication, and grid sweeps.
 
-    def execute(self, scenario: Scenario, seed: Optional[int] = None) -> ScenarioRun:
+    With ``check_invariants=True`` every executed run is verified by the
+    :class:`~repro.faults.invariants.InvariantChecker` before its result is
+    returned (safety always; liveness when the scenario's faults are within
+    tolerance), turning each figure into a checked execution.  The per-call
+    ``check_invariants`` argument overrides the constructor default.
+    """
+
+    def __init__(self, check_invariants: bool = False) -> None:
+        self.check_invariants = check_invariants
+
+    def _should_check(self, check_invariants: Optional[bool]) -> bool:
+        return self.check_invariants if check_invariants is None else check_invariants
+
+    def execute(
+        self,
+        scenario: Scenario,
+        seed: Optional[int] = None,
+        check_invariants: Optional[bool] = None,
+    ) -> ScenarioRun:
         """Run one seed and return the live :class:`ScenarioRun` for inspection."""
         run = materialize(scenario, seed)
         run.run()
+        if self._should_check(check_invariants):
+            run.check_invariants()
         return run
 
-    def run_seed(self, scenario: Scenario, seed: int) -> RunResult:
-        return materialize(scenario, seed).run()
+    def run_seed(
+        self,
+        scenario: Scenario,
+        seed: int,
+        check_invariants: Optional[bool] = None,
+    ) -> RunResult:
+        run = materialize(scenario, seed)
+        result = run.run()
+        if self._should_check(check_invariants):
+            run.check_invariants()
+        return result
 
-    def run(self, scenario: Scenario) -> ResultSet:
+    def run(
+        self, scenario: Scenario, check_invariants: Optional[bool] = None
+    ) -> ResultSet:
         """Run every seed of the scenario; one :class:`RunResult` per seed."""
-        return ResultSet([self.run_seed(scenario, seed) for seed in scenario.seeds])
+        return ResultSet(
+            [
+                self.run_seed(scenario, seed, check_invariants=check_invariants)
+                for seed in scenario.seeds
+            ]
+        )
 
     # ------------------------------------------------------------------ sweeps
 
@@ -339,7 +420,10 @@ class ScenarioRunner:
         for combo in _cartesian(axes):
             derived = scenario.with_overrides(**dict(combo))
             for seed in derived.seeds:
-                result = materialize(derived, seed).run()
+                run = materialize(derived, seed)
+                result = run.run()
+                if self.check_invariants:
+                    run.check_invariants()
                 results.append(
                     RunResult(
                         scenario=result.scenario,

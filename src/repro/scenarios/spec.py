@@ -30,6 +30,7 @@ from repro.common.config import (
 )
 from repro.common.types import CrossDomainProtocol, DomainId, FailureModel
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultAction, FaultPlan
 from repro.sim.latency import PROFILE_NAMES
 from repro.workloads.generator import WORKLOAD_STYLES
 
@@ -47,6 +48,8 @@ __all__ = [
     "ApplicationSpec",
     "WorkloadSpec",
     "FaultEvent",
+    "FaultAction",
+    "FaultPlan",
     "Scenario",
     "parse_domain_name",
 ]
@@ -408,6 +411,7 @@ class Scenario:
     application: ApplicationSpec = field(default_factory=ApplicationSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     fault_schedule: Tuple[FaultEvent, ...] = ()
+    fault_plan: FaultPlan = field(default_factory=FaultPlan)
     num_clients: int = 8
     seeds: Tuple[int, ...] = (2023,)
     latency_profile: str = "nearby-eu"
@@ -427,6 +431,13 @@ class Scenario:
                 for e in _as_tuple(self.fault_schedule)
             ),
         )
+        if isinstance(self.fault_plan, Mapping):
+            object.__setattr__(self, "fault_plan", FaultPlan.from_dict(self.fault_plan))
+        if not isinstance(self.fault_plan, FaultPlan):
+            raise ConfigurationError(
+                "fault_plan must be a FaultPlan (or its dict form), got "
+                f"{type(self.fault_plan).__name__}"
+            )
         if not self.name:
             raise ConfigurationError("scenario name must be non-empty")
         if self.engine not in ENGINES:
@@ -576,6 +587,7 @@ class Scenario:
             "application": self.application.to_dict(),
             "workload": self.workload.to_dict(),
             "fault_schedule": [e.to_dict() for e in self.fault_schedule],
+            "fault_plan": self.fault_plan.to_dict(),
             "num_clients": self.num_clients,
             "seeds": list(self.seeds),
             "latency_profile": self.latency_profile,
@@ -596,6 +608,8 @@ class Scenario:
             kwargs["application"] = ApplicationSpec.from_dict(kwargs["application"])
         if "workload" in kwargs and isinstance(kwargs["workload"], Mapping):
             kwargs["workload"] = WorkloadSpec.from_dict(kwargs["workload"])
+        if "fault_plan" in kwargs and isinstance(kwargs["fault_plan"], Mapping):
+            kwargs["fault_plan"] = FaultPlan.from_dict(kwargs["fault_plan"])
         if "timers" in kwargs and isinstance(kwargs["timers"], Mapping):
             kwargs["timers"] = _dataclass_from_dict(
                 TimerConfig, kwargs["timers"], "TimerConfig"
@@ -633,4 +647,6 @@ class Scenario:
                 for e in self.fault_schedule
             )
             lines.append(f"  faults: {rendered}")
+        if self.fault_plan:
+            lines.append(f"  fault plan: {self.fault_plan.describe()}")
         return "\n".join(lines)

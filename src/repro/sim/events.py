@@ -11,6 +11,11 @@ from repro.errors import SimulationError
 
 __all__ = ["ScheduledEvent", "EventQueue"]
 
+#: Compact the heap once at least this many cancelled events have built up
+#: (and they make up at least half the heap).  Keeps long fault-heavy runs —
+#: which cancel protocol timers constantly — from accumulating dead entries.
+COMPACT_THRESHOLD = 64
+
 
 @dataclass(order=True)
 class ScheduledEvent:
@@ -25,10 +30,21 @@ class ScheduledEvent:
     callback: Callable[[], Any] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    _queue: Optional["EventQueue"] = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
-        """Prevent the callback from running (the heap entry stays in place)."""
+        """Prevent the callback from running.
+
+        The owning queue is notified so it can drop (or periodically compact
+        away) the dead heap entry instead of carrying it until its fire time.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._note_cancelled()
 
 
 class EventQueue:
@@ -37,12 +53,18 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: List[ScheduledEvent] = []
         self._counter = itertools.count()
+        self._cancelled = 0  # cancelled events still sitting in the heap
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._cancelled
 
     def __bool__(self) -> bool:
-        return any(not event.cancelled for event in self._heap)
+        return len(self) > 0
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, including not-yet-compacted cancelled events."""
+        return len(self._heap)
 
     def push(self, time: float, callback: Callable[[], Any], label: str = "") -> ScheduledEvent:
         """Schedule ``callback`` at simulated ``time``."""
@@ -51,6 +73,7 @@ class EventQueue:
         event = ScheduledEvent(
             time=time, sequence=next(self._counter), callback=callback, label=label
         )
+        event._queue = self
         heapq.heappush(self._heap, event)
         return event
 
@@ -58,14 +81,34 @@ class EventQueue:
         """Pop the earliest non-cancelled event, or ``None`` if empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+            event._queue = None
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest non-cancelled event, or ``None``."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         if not self._heap:
             return None
         return self._heap[0].time
+
+    # -- cancellation bookkeeping ---------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled >= COMPACT_THRESHOLD
+            and 2 * self._cancelled >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled events (O(live) time)."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0

@@ -93,6 +93,16 @@ class Network:
         return self._latency
 
     @property
+    def drop_rate(self) -> float:
+        return self._drop_rate
+
+    def set_drop_rate(self, drop_rate: float) -> None:
+        """Change the uniform loss rate mid-run (fault plans' loss bursts)."""
+        if not 0.0 <= drop_rate < 1.0:
+            raise NetworkError("drop_rate must be in [0, 1)")
+        self._drop_rate = drop_rate
+
+    @property
     def simulator(self) -> Simulator:
         return self._simulator
 

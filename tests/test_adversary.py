@@ -1,0 +1,131 @@
+"""Byzantine adversary behaviors and the safety net around them.
+
+The headline pair of tests is the equivocation story:
+
+* with the **real** ``2f + 1`` quorum rule an equivocating PBFT primary is
+  *survived* — every safety invariant holds over the whole run;
+* with a **deliberately weakened** quorum rule (monkeypatched to 1) the same
+  adversary splits the replicas' ledgers, and the :class:`InvariantChecker`
+  *catches* it — proving the checker is not vacuous.
+"""
+
+import pytest
+
+from repro.consensus.pbft import PbftEngine
+from repro.faults import InvariantChecker
+from repro.scenarios import ScenarioRunner, registry
+from repro.scenarios.runner import materialize
+
+
+def _run_unchecked(name: str):
+    return ScenarioRunner().execute(registry.get(name))
+
+
+class TestEquivocation:
+    def test_equivocating_leader_is_survived_with_real_quorum(self):
+        run = _run_unchecked("byz-equivocation")
+        # The adversary really equivocated...
+        assert run.trace.events("adversary:equivocate")
+        # ...and honest replicas noticed the conflicting proposals...
+        assert run.trace.events("equivocation-observed")
+        # ...yet every safety invariant (and liveness) holds.
+        report = InvariantChecker(run.deployment).check(expect_liveness=True)
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_weakened_quorum_lets_equivocation_split_the_domain(self, monkeypatch):
+        # Checker self-test: sabotage the engine's quorum rule so a single
+        # vote decides a slot, and run the same equivocation scenario.
+        monkeypatch.setattr(PbftEngine, "quorum", property(lambda self: 1))
+        scenario = registry.get("byz-equivocation")
+        run = materialize(scenario)
+        run.deployment.run_workload(
+            run.workload.transactions,
+            max_simulated_ms=30_000.0,
+            think_time_ms=scenario.think_time_ms,
+        )
+        report = InvariantChecker(run.deployment).check()
+        assert not report.ok
+        # The same slot decided with two different payloads somewhere...
+        assert report.of("conflicting-decide")
+        # ...and none of those minority decisions is backed by a real quorum.
+        assert report.of("decide-quorum")
+
+    def test_forged_variant_never_commits_with_real_quorum(self):
+        run = _run_unchecked("byz-equivocation")
+        skew = 1_000_000.0
+        for domain in run.deployment.hierarchy.height1_domains():
+            for node in run.deployment.nodes_of(domain.id):
+                for entry in node.ledger.entries():
+                    amount = entry.transaction.payload.get("amount")
+                    assert amount is None or amount < skew
+
+
+class TestLeaderSilence:
+    def test_silent_leader_is_viewed_out_and_run_stays_live(self):
+        run = _run_unchecked("byz-leader-silence")
+        assert run.trace.events("fault:silence")
+        assert run.summary.pending == 0
+        report = InvariantChecker(run.deployment).check(expect_liveness=True)
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_silenced_node_sends_nothing(self):
+        scenario = registry.get("byz-leader-silence")
+        run = materialize(scenario)
+        deployment = run.deployment
+        domain = next(
+            d for d in deployment.hierarchy.height1_domains() if d.id.name == "D11"
+        )
+        primary = deployment.primary_node_of(domain.id)
+        primary.adversary.silence()
+        sent_before = deployment.network.stats.messages_sent
+        primary.send(deployment.nodes_of(domain.id)[1].address, "hello")
+        assert deployment.network.stats.messages_sent == sent_before
+        primary.adversary.unsilence()
+        primary.send(deployment.nodes_of(domain.id)[1].address, "hello")
+        assert deployment.network.stats.messages_sent == sent_before + 1
+
+
+class TestStaleCertificateReplay:
+    def test_replay_is_ignored_and_safety_holds(self):
+        run = _run_unchecked("byz-stale-certificate")
+        replays = run.trace.events("adversary:stale-replay")
+        assert replays, "the fault plan should have replayed a stale prepared"
+        for event in replays:
+            assert event.get("stale_sequence") is not None
+        report = InvariantChecker(run.deployment).check(expect_liveness=True)
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_replay_without_prior_traffic_is_a_noop(self):
+        run = materialize(registry.get("fig07a"))
+        deployment = run.deployment
+        domain = deployment.hierarchy.height1_domains()[0]
+        node = deployment.primary_node_of(domain.id)
+        assert node.adversary.replay_stale_certificate(node) is False
+
+
+class TestPartitionAndLoss:
+    def test_healed_partition_recovers_all_transactions(self):
+        run = _run_unchecked("byz-partition-flap")
+        kinds = run.trace.kinds()
+        assert kinds.get("fault:partition") and kinds.get("fault:heal")
+        assert kinds.get("fault:loss") and kinds.get("fault:loss-end")
+        assert run.summary.pending == 0
+        report = InvariantChecker(run.deployment).check(expect_liveness=True)
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_consensus_gap_recovery_left_evidence(self):
+        # The loss burst wedges consensus slots; the engines' gap recovery
+        # (SlotStatusQuery + retransmission) must have un-wedged them.
+        run = _run_unchecked("byz-partition-flap")
+        assert run.trace.events("gap-query")
+        for domain in run.deployment.hierarchy.server_domains():
+            for node in run.deployment.nodes_of(domain.id):
+                assert not node.engine._log.has_gap, node.address
+
+
+class TestCrashRecover:
+    def test_recovered_replica_catches_up(self):
+        run = _run_unchecked("byz-crash-recover")
+        assert run.trace.events("fault:crash") and run.trace.events("fault:recover")
+        report = InvariantChecker(run.deployment).check(expect_liveness=True)
+        assert report.ok, [str(v) for v in report.violations]

@@ -1,0 +1,53 @@
+"""Determinism regression: same scenario + same seed ⇒ bit-identical results.
+
+Every registered scenario (paper figures and adversarial fault plans alike) is
+run twice with the same seed; the structured :class:`RunResult` and the full
+recorded event trace must match byte for byte.  Scenarios are scaled down so
+the whole sweep stays fast — determinism does not depend on workload size.
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios import ScenarioRunner, registry
+
+
+def _unique_scenarios():
+    seen = set()
+    unique = []
+    for name, scenario in registry.items():
+        if id(scenario) in seen:
+            continue  # bare figure names alias panel (a)
+        seen.add(id(scenario))
+        unique.append((name, scenario))
+    return unique
+
+
+def _scaled(scenario):
+    return scenario.with_overrides(
+        num_transactions=min(scenario.workload.num_transactions, 24),
+        num_clients=min(scenario.num_clients, 4),
+    )
+
+
+@pytest.mark.parametrize(
+    "name,scenario",
+    _unique_scenarios(),
+    ids=[name for name, _ in _unique_scenarios()],
+)
+def test_scenario_is_bit_identical_across_runs(name, scenario):
+    runner = ScenarioRunner()
+    scaled = _scaled(scenario)
+    first = runner.execute(scaled)
+    second = runner.execute(scaled)
+
+    def canonical(result):
+        return json.dumps(result.to_dict(), sort_keys=True)
+
+    assert canonical(first.run()) == canonical(second.run())
+    assert first.trace.to_json() == second.trace.to_json()
+    assert (
+        first.deployment.simulator.events_executed
+        == second.deployment.simulator.events_executed
+    )

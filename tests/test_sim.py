@@ -49,6 +49,60 @@ class TestEventQueue:
         assert queue.peek_time() == 2.0
 
 
+class TestEventQueueCompaction:
+    """Cancelled timers must not accumulate in fault-heavy runs."""
+
+    def test_mass_cancellation_keeps_the_heap_bounded(self):
+        queue = EventQueue()
+        events = [queue.push(float(i + 1), lambda: None) for i in range(1000)]
+        for event in events:
+            event.cancel()
+        assert len(queue) == 0
+        assert not queue
+        # Compaction kicked in: the dead entries were dropped eagerly, not
+        # carried until their fire times.
+        assert queue.heap_size <= 64
+
+    def test_live_events_survive_compaction_in_order(self):
+        queue = EventQueue()
+        keep = [queue.push(float(1000 + i), lambda i=i: i) for i in range(5)]
+        cancel = [queue.push(float(i + 1), lambda: None) for i in range(500)]
+        for event in cancel:
+            event.cancel()
+        assert len(queue) == len(keep)
+        assert queue.peek_time() == 1000.0
+        popped = [queue.pop().time for _ in range(len(keep))]
+        assert popped == sorted(popped)
+        assert queue.pop() is None
+
+    def test_len_counts_only_live_events(self):
+        queue = EventQueue()
+        live = queue.push(1.0, lambda: None)
+        dead = queue.push(2.0, lambda: None)
+        dead.cancel()
+        assert len(queue) == 1
+        assert queue.pop() is live
+
+    def test_cancel_after_pop_does_not_corrupt_bookkeeping(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        popped = queue.pop()
+        assert popped is first
+        popped.cancel()  # a timer firing then being cancelled later
+        assert len(queue) == 1
+        assert queue.pop() is not None
+        assert len(queue) == 0
+
+    def test_double_cancel_is_counted_once(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+
 class TestSimulator:
     def test_clock_advances_to_event_times(self):
         sim = Simulator()
