@@ -36,8 +36,10 @@ __all__ = [
     "cross_domain_figure",
     "mobile_figure",
     "scalability_figure",
+    "batch_figure",
     "run_once",
     "record_bench",
+    "load_bench_baseline",
     "write_bench_results",
     "paper_cross_domain_variants",
 ]
@@ -80,19 +82,83 @@ def record_bench(
     )
 
 
+#: Throughput regressions beyond this fraction of the committed baseline are
+#: flagged (warned about, never failed — absolute numbers are machine-bound).
+BASELINE_REGRESSION_TOLERANCE = 0.10
+
+
+def load_bench_baseline(path: Optional[str] = None) -> Dict[str, Dict[str, Any]]:
+    """The committed ``BENCH_results.json`` of the previous session, by figure.
+
+    Returns an empty mapping when no baseline exists yet (first run) or the
+    file is unreadable — the trajectory starts accumulating from this session.
+    """
+    target = path or BENCH_RESULTS_PATH
+    try:
+        with open(target, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    baseline: Dict[str, Dict[str, Any]] = {}
+    for entry in payload.get("results", ()):
+        figure = entry.get("figure")
+        if figure:
+            baseline[figure] = entry
+    return baseline
+
+
+def _report_bench_deltas(
+    baseline: Dict[str, Dict[str, Any]], records: List[Dict[str, Any]]
+) -> None:
+    """Print per-figure deltas against the committed baseline (warn only)."""
+    if not baseline:
+        print("\nBENCH baseline: none committed yet; starting the trajectory.")
+        return
+    print("\nBENCH deltas vs committed baseline:")
+    for entry in records:
+        figure = entry["figure"]
+        previous = baseline.get(figure)
+        if previous is None or not previous.get("throughput_tps"):
+            print(f"  {figure:24s} NEW  {entry['throughput_tps']:10.1f} tps")
+            continue
+        before = previous["throughput_tps"]
+        after = entry["throughput_tps"]
+        change = (after - before) / before
+        print(
+            f"  {figure:24s} {before:10.1f} -> {after:10.1f} tps "
+            f"({change:+.1%})"
+        )
+        if change < -BASELINE_REGRESSION_TOLERANCE:
+            import warnings
+
+            warnings.warn(
+                f"benchmark {figure}: throughput regressed {change:.1%} "
+                f"vs the committed baseline ({before:.1f} -> {after:.1f} tps)",
+                stacklevel=2,
+            )
+
+
 def write_bench_results(path: Optional[str] = None) -> Optional[str]:
     """Dump every recorded figure result as JSON; returns the path written.
 
     Called from the benchmark conftest at session end so the performance
     trajectory (throughput, latency, simulator events/second) is tracked
-    across PRs.  No-op when no benchmark recorded anything this session.
+    across PRs.  Before overwriting, the committed baseline is loaded and
+    per-figure deltas are printed — a >10% throughput regression warns but
+    never fails, since absolute numbers are machine-bound.  Baseline figures
+    *not* re-run this session are carried over unchanged, so a partial run
+    (e.g. one figure's benchmark file) never erases the rest of the history.
+    No-op when no benchmark recorded anything this session.
     """
     if not _BENCH_RECORDS:
         return None
     target = path or BENCH_RESULTS_PATH
-    payload = {
-        "results": sorted(_BENCH_RECORDS, key=lambda entry: entry["figure"]),
-    }
+    records = sorted(_BENCH_RECORDS, key=lambda entry: entry["figure"])
+    baseline = load_bench_baseline(target)
+    _report_bench_deltas(baseline, records)
+    merged = dict(baseline)
+    merged.update({entry["figure"]: entry for entry in records})
+    payload = {"results": [merged[figure] for figure in sorted(merged)]}
     with open(target, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -276,6 +342,42 @@ def scalability_figure(
             f"{label}: {summary.throughput_tps:8.1f} tps" for label, summary in row.items()
         )
         print(f"|p| = {domain_size:2d}  ->  {rendered}")
+    return results
+
+
+def batch_figure(
+    title: str,
+    batch_sizes: Optional[Sequence[int]] = None,
+    figure: str = "fig_batch",
+) -> Dict[int, PerformanceSummary]:
+    """The batching sweep (fig_batch): throughput across consensus batch sizes.
+
+    Sweeps the registered ``batch-sweep`` scenario family — the fig13
+    topology (BFT, LAN) at |p| = 7 under saturating closed-loop load — over
+    ``batch_sizes``, recording one headline entry per size so the cross-PR
+    trajectory tracks how the batched ordering core scales.
+    """
+    sizes = tuple(batch_sizes if batch_sizes is not None else registry.BATCH_SWEEP_SIZES)
+    results: Dict[int, PerformanceSummary] = {}
+    print()
+    print(title)
+    print("-" * len(title))
+    for size in sizes:
+        scenario = registry.get(f"batch-sweep-b{size:03d}")
+        run, events_per_sec = _timed_checked_run(scenario)
+        assert run.summary is not None
+        results[size] = run.summary
+        record_bench(
+            f"{figure}/b{size:03d}",
+            throughput_tps=run.summary.throughput_tps,
+            avg_latency_ms=run.summary.avg_latency_ms,
+            events_per_sec=events_per_sec,
+        )
+        print(
+            f"batch={size:3d}  ->  {run.summary.throughput_tps:9.1f} tps  "
+            f"{run.summary.avg_latency_ms:7.2f} ms avg  "
+            f"{run.summary.p95_latency_ms:8.2f} ms p95"
+        )
     return results
 
 

@@ -1,0 +1,35 @@
+"""fig_batch: throughput scaling of the batched ordering core.
+
+Sweeps the ``batch-sweep`` scenario family — the fig13 topology (Byzantine
+domains, LAN profile) at |p| = 7 under saturating closed-loop load — across
+consensus batch sizes {1, 8, 32, 128}.  One slot per request is message-bound
+in this regime: the unbatched primaries saturate on per-slot PBFT traffic,
+while batching amortises the agreement cost over many transactions.  The
+acceptance gate for the batching refactor lives here: batch_size=32 must
+carry at least 3x the unbatched throughput, with every run invariant-checked
+(including batch atomicity).
+"""
+
+from figure_common import batch_figure
+
+
+def test_figure_batch_throughput_scales(benchmark):
+    def run():
+        return batch_figure(
+            title="fig_batch: batched ordering core (fig13 topology, |p| = 7)",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    unbatched = results[1].throughput_tps
+    batched = results[32].throughput_tps
+    assert unbatched > 0
+    # The tentpole acceptance: batching must buy at least 3x throughput.
+    assert batched >= 3.0 * unbatched, (
+        f"batch_size=32 reached only {batched:.1f} tps vs "
+        f"{unbatched:.1f} tps unbatched ({batched / unbatched:.2f}x < 3x)"
+    )
+    # Batching amortises messages, so it must also cut latency under load.
+    assert results[32].avg_latency_ms < results[1].avg_latency_ms
+    for summary in results.values():
+        assert summary.pending == 0
+        assert summary.aborted == 0

@@ -1,0 +1,48 @@
+"""Unit coverage for the benchmark bookkeeping (no simulation runs)."""
+
+import json
+
+import figure_common
+
+
+def _entry(figure, tps):
+    return {
+        "figure": figure,
+        "throughput_tps": tps,
+        "avg_latency_ms": 1.0,
+        "events_per_sec": 1000,
+    }
+
+
+def test_write_bench_results_preserves_unrecorded_figures(tmp_path, monkeypatch):
+    """A partial benchmark run must not erase other figures' history."""
+    target = tmp_path / "BENCH_results.json"
+    target.write_text(
+        json.dumps({"results": [_entry("fig07a", 100.0), _entry("fig_old", 50.0)]})
+    )
+    monkeypatch.setattr(figure_common, "_BENCH_RECORDS", [_entry("fig07a", 120.0)])
+    written = figure_common.write_bench_results(path=str(target))
+    assert written == str(target)
+    payload = json.loads(target.read_text())
+    by_figure = {entry["figure"]: entry for entry in payload["results"]}
+    assert by_figure["fig07a"]["throughput_tps"] == 120.0  # updated
+    assert by_figure["fig_old"]["throughput_tps"] == 50.0  # carried over
+
+
+def test_write_bench_results_warns_on_regression(tmp_path, monkeypatch, recwarn):
+    target = tmp_path / "BENCH_results.json"
+    target.write_text(json.dumps({"results": [_entry("fig07a", 100.0)]}))
+    monkeypatch.setattr(figure_common, "_BENCH_RECORDS", [_entry("fig07a", 80.0)])
+    figure_common.write_bench_results(path=str(target))
+    assert any("regressed" in str(w.message) for w in recwarn.list)
+
+
+def test_write_bench_results_is_noop_without_records(tmp_path, monkeypatch):
+    target = tmp_path / "BENCH_results.json"
+    monkeypatch.setattr(figure_common, "_BENCH_RECORDS", [])
+    assert figure_common.write_bench_results(path=str(target)) is None
+    assert not target.exists()
+
+
+def test_load_bench_baseline_handles_missing_file(tmp_path):
+    assert figure_common.load_bench_baseline(str(tmp_path / "missing.json")) == {}

@@ -182,7 +182,14 @@ class HierarchySpec:
 
 @dataclass(frozen=True)
 class DeploymentConfig:
-    """Everything needed to build and run one Saguaro deployment."""
+    """Everything needed to build and run one Saguaro deployment.
+
+    ``batch_size`` / ``batch_timeout_ms`` configure the consensus engines'
+    request batcher: primaries accumulate up to ``batch_size`` submitted
+    payloads (or whatever arrived within ``batch_timeout_ms`` of the first)
+    and order them in a single slot.  ``batch_size=1`` disables batching and
+    is bit-identical to the unbatched engines.
+    """
 
     hierarchy: HierarchySpec = field(default_factory=HierarchySpec)
     protocol: CrossDomainProtocol = CrossDomainProtocol.COORDINATOR
@@ -192,6 +199,14 @@ class DeploymentConfig:
     byzantine_costs: NodeCostModel = DEFAULT_BYZANTINE_COSTS
     latency_profile: str = "nearby-eu"
     seed: int = 2023
+    batch_size: int = 1
+    batch_timeout_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.batch_timeout_ms <= 0:
+            raise ConfigurationError("batch_timeout_ms must be positive")
 
     def costs_for(self, model: FailureModel) -> NodeCostModel:
         if model is FailureModel.CRASH:

@@ -1,6 +1,13 @@
 """Internal (intra-domain) consensus: Paxos for CFT domains, PBFT for BFT ones."""
 
-from repro.consensus.base import ConsensusEngine, ConsensusHost, DecisionLog
+from repro.consensus.base import (
+    Batch,
+    Batcher,
+    ConsensusEngine,
+    ConsensusHost,
+    DecisionLog,
+    payload_digest_of,
+)
 from repro.consensus.messages import (
     ConsensusMessage,
     NewView,
@@ -27,9 +34,12 @@ def engine_for(host) -> ConsensusEngine:
 
 
 __all__ = [
+    "Batch",
+    "Batcher",
     "ConsensusEngine",
     "ConsensusHost",
     "DecisionLog",
+    "payload_digest_of",
     "ConsensusMessage",
     "NewView",
     "PaxosAccept",

@@ -6,12 +6,22 @@ server node) supplies message sending, timers and the delivery callback.
 Decisions are always delivered to the host **in slot order** — the engine
 buffers out-of-order decisions — because both the blockchain ledger and the
 cross-domain protocols rely on a gap-free total order.
+
+Ordering is *batched*: protocol components hand payloads to
+:meth:`ConsensusEngine.submit`, and the engine's :class:`Batcher` accumulates
+them on the primary until ``batch_size`` are pending (or ``batch_timeout_ms``
+elapsed), then runs consensus once on a single :class:`Batch` payload —
+amortising the per-slot message round over many requests.  Decided batches
+are unpacked back into per-entry host callbacks with strictly increasing
+delivery sequence numbers, so everything above the engine keeps one-payload
+semantics.  With ``batch_size=1`` (the default) the batcher is a direct
+passthrough, bit-identical to unbatched ordering.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Protocol, Tuple
 
 from repro.common.types import DomainId, FailureModel
 from repro.consensus.messages import SlotStatusQuery
@@ -19,13 +29,202 @@ from repro.crypto.digests import digest
 from repro.errors import ConsensusError, NotPrimaryError
 from repro.topology.domain import Domain
 
-__all__ = ["ConsensusHost", "ConsensusEngine", "DecisionLog", "GAP_RECOVERY_MS"]
+__all__ = [
+    "ConsensusHost",
+    "ConsensusEngine",
+    "DecisionLog",
+    "Batch",
+    "Batcher",
+    "payload_digest_of",
+    "GAP_RECOVERY_MS",
+    "DEFAULT_BATCH_TIMEOUT_MS",
+]
 
 #: How long a delivery gap (decided-but-undeliverable slots) may persist
 #: before the engine asks its peers for the missing decision.  Long enough
 #: that ordinary out-of-order decides never trigger a query; short enough
 #: that a lost vote does not wedge a domain.
 GAP_RECOVERY_MS = 150.0
+
+#: How long an underfilled batch may wait for more payloads before it is
+#: proposed anyway.  Short next to the consensus round trip, so batching
+#: trades a sliver of latency for a large message-count reduction.
+DEFAULT_BATCH_TIMEOUT_MS = 5.0
+
+
+def payload_digest_of(payload: Any) -> bytes:
+    """Canonical digest of a consensus payload.
+
+    Payloads exposing ``canonical_bytes()`` (transactions, batches) digest to
+    that; anything else digests its ``repr``, which is stable for the frozen
+    dataclass payloads the protocols order.
+    """
+    if hasattr(payload, "canonical_bytes"):
+        return payload.canonical_bytes()
+    return digest(repr(payload))
+
+
+class Batch:
+    """Several submitted payloads ordered together in one consensus slot.
+
+    A batch is itself a consensus payload: engines agree on the batch digest
+    exactly as they would on a single payload, and the shared delivery path
+    unpacks a decided batch back into per-entry ``on_decide`` callbacks so the
+    ledger, coordinator, and application layers keep their one-payload
+    semantics.  Entry ids (digest prefixes) identify each entry inside the
+    batch for tracing and the batch-atomicity invariant.
+    """
+
+    __slots__ = ("entries", "entry_ids", "_canonical")
+
+    def __init__(self, entries: Tuple[Any, ...]) -> None:
+        self.entries: Tuple[Any, ...] = tuple(entries)
+        if not self.entries:
+            raise ConsensusError("a batch needs at least one entry")
+        parts = tuple(payload_digest_of(entry) for entry in self.entries)
+        self.entry_ids: Tuple[str, ...] = tuple(part.hex()[:16] for part in parts)
+        self._canonical = digest(b"batch", *parts)
+
+    def canonical_bytes(self) -> bytes:
+        return self._canonical
+
+    def transaction_ids(self) -> Tuple[str, ...]:
+        """Names of the transactions the entries carry, in entry order.
+
+        Entries holding one ``transaction`` contribute its id; entries holding
+        a ``transactions`` tuple (device batches) contribute all of them, in
+        order — exactly the order their decide-time ledger appends happen in.
+        """
+        names: List[str] = []
+        for entry in self.entries:
+            transaction = getattr(entry, "transaction", None)
+            if transaction is not None:
+                names.append(str(transaction.tid.name))
+                continue
+            for nested in getattr(entry, "transactions", ()):
+                names.append(str(nested.tid.name))
+        return tuple(names)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.entries)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Batch) and self.entries == other.entries
+
+    def __hash__(self) -> int:
+        return hash(self._canonical)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Batch of {len(self.entries)} ({', '.join(self.entry_ids[:3])}...)>"
+
+
+class Batcher:
+    """Size/time-triggered accumulator in front of an engine's ``propose``.
+
+    The primary submits payloads here instead of proposing them one per slot:
+    the batcher accumulates them and proposes a single :class:`Batch` once
+    ``batch_size`` payloads are pending or ``batch_timeout_ms`` elapsed since
+    the first pending payload.  With ``batch_size <= 1`` submission degrades
+    to a direct ``propose`` call — bit-identical to the unbatched engine.
+    """
+
+    def __init__(
+        self,
+        engine: "ConsensusEngine",
+        batch_size: int = 1,
+        batch_timeout_ms: float = DEFAULT_BATCH_TIMEOUT_MS,
+    ) -> None:
+        if batch_size < 1:
+            raise ConsensusError("batch_size must be >= 1")
+        if batch_timeout_ms <= 0:
+            raise ConsensusError("batch_timeout_ms must be positive")
+        self._engine = engine
+        self.batch_size = batch_size
+        self.batch_timeout_ms = batch_timeout_ms
+        self._pending: List[Any] = []
+        self._timer: Any = None
+        self._flushes_by_size = 0
+        self._flushes_by_timeout = 0
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def flush_counts(self) -> Tuple[int, int]:
+        """(size-triggered, timeout-triggered) flushes so far."""
+        return (self._flushes_by_size, self._flushes_by_timeout)
+
+    def submit(self, payload: Any) -> Optional[int]:
+        """Queue ``payload`` for ordering; returns the slot when proposed now.
+
+        Raises :class:`~repro.errors.NotPrimaryError` on non-primaries, like
+        ``propose`` itself, so callers keep their existing error contract.
+        """
+        if self.batch_size <= 1:
+            return self._engine.propose(payload)
+        if not self._engine.is_primary:
+            raise NotPrimaryError(
+                f"{self._engine._host.address} is not the primary of "
+                f"{self._engine.domain.name}"
+            )
+        self._pending.append(payload)
+        if len(self._pending) >= self.batch_size:
+            return self._flush("size")
+        if self._timer is None or not self._timer.active:
+            self._timer = self._engine._host.set_timer(
+                self.batch_timeout_ms, self._on_timeout
+            )
+        return None
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if self._pending:
+            self._flush("timeout")
+
+    def flush(self) -> Optional[int]:
+        """Propose whatever is pending immediately (used by tests/shutdown)."""
+        if not self._pending:
+            return None
+        return self._flush("explicit")
+
+    def _flush(self, trigger: str) -> Optional[int]:
+        if self._timer is not None:
+            # Cancel eagerly: a re-armed timeout must not leave the previous
+            # timer event live in the simulator heap (it would leak one dead
+            # heap entry per flushed batch over a long run).
+            self._timer.cancel()
+            self._timer = None
+        pending, self._pending = self._pending, []
+        if not self._engine.is_primary:
+            # Deposed mid-accumulation (view change): drop the buffer — the
+            # payloads were never proposed, and clients retransmit through
+            # the new primary.  The host is told about every dropped payload
+            # so components can clear their in-flight dedup state; otherwise
+            # a node re-elected primary later would swallow retransmissions
+            # of transactions it silently dropped here.
+            self._engine._trace("batch-drop", slot=None, size=len(pending))
+            notify = getattr(self._engine._host, "consensus_submission_dropped", None)
+            if notify is not None:
+                for payload in pending:
+                    notify(payload)
+            return None
+        if trigger == "size":
+            self._flushes_by_size += 1
+        elif trigger == "timeout":
+            self._flushes_by_timeout += 1
+        batch = Batch(tuple(pending))
+        self._engine._trace(
+            "batch-propose",
+            slot=None,
+            payload_digest=batch.canonical_bytes(),
+            size=len(batch),
+            trigger=trigger,
+        )
+        return self._engine.propose(batch)
 
 
 class ConsensusHost(Protocol):
@@ -47,8 +246,15 @@ class ConsensusHost(Protocol):
 
     def set_timer(self, delay_ms: float, callback: Callable[[], None]) -> Any: ...
 
-    def consensus_decided(self, slot: int, payload: Any) -> None:
-        """Invoked exactly once per slot, in slot order."""
+    def consensus_decided(self, sequence: int, payload: Any) -> None:
+        """Invoked once per decided payload *entry*, in decision order.
+
+        ``sequence`` is a gap-free, strictly increasing delivery number, not
+        the consensus slot: a decided batch delivers one call per entry, all
+        sharing the batch's slot.  With ``batch_size=1`` the sequence equals
+        the slot.  Do not index engine slot state
+        (``is_decided``/``payload_of``) with it.
+        """
         ...
 
 
@@ -107,9 +313,21 @@ class ConsensusEngine(abc.ABC):
         self._domain = host.hosted_domain
         self._view = 0
         self._next_slot = 1
-        self._log = DecisionLog(host.consensus_decided)
+        self._log = DecisionLog(self._deliver_decided)
         self._proposals: Dict[int, Any] = {}
         self._recovery_timer: Any = None
+        #: Per-entry delivery counter: batches unpack into one callback per
+        #: entry, so components see a gap-free, strictly increasing sequence
+        #: (identical to the slot number when nothing is batched).
+        self._delivery_seq = 0
+        config = getattr(host, "config", None)
+        self.batcher = Batcher(
+            self,
+            batch_size=getattr(config, "batch_size", 1),
+            batch_timeout_ms=getattr(
+                config, "batch_timeout_ms", DEFAULT_BATCH_TIMEOUT_MS
+            ),
+        )
 
     # -- introspection -------------------------------------------------------------
 
@@ -138,11 +356,16 @@ class ConsensusEngine(abc.ABC):
         return self._domain.quorum
 
     def payload_digest(self, payload: Any) -> bytes:
-        if hasattr(payload, "canonical_bytes"):
-            return payload.canonical_bytes()
-        return digest(repr(payload))
+        return payload_digest_of(payload)
 
     # -- tracing ---------------------------------------------------------------
+
+    def _tracing_enabled(self) -> bool:
+        """Whether the host records traces (mirrors :meth:`_trace`'s guard)."""
+        if getattr(self._host, "record_trace", None) is None:
+            return False
+        trace = getattr(self._host, "trace", None)
+        return trace is None or trace.enabled
 
     def _trace(
         self,
@@ -188,6 +411,16 @@ class ConsensusEngine(abc.ABC):
     def propose(self, payload: Any) -> int:
         """Start consensus on ``payload``; returns the slot it was assigned."""
 
+    def submit(self, payload: Any) -> Optional[int]:
+        """Queue ``payload`` for ordering through the engine's batcher.
+
+        This is the entry point protocol components use: depending on the
+        deployment's batching knobs the payload is proposed immediately
+        (``batch_size=1``), or accumulated and proposed inside a
+        :class:`Batch` once the batch fills or its timeout fires.
+        """
+        return self.batcher.submit(payload)
+
     @abc.abstractmethod
     def handle_message(self, message: Any, sender: str) -> bool:
         """Process an engine message.  Returns ``False`` if not recognised."""
@@ -208,6 +441,33 @@ class ConsensusEngine(abc.ABC):
             self._trace("decide", slot=slot, payload=payload)
         self._log.record(slot, payload)
         self._maybe_arm_gap_recovery()
+
+    def _deliver_decided(self, slot: int, payload: Any) -> None:
+        """Hand a decided slot to the host, unpacking batches per entry.
+
+        Every entry gets its own strictly increasing delivery sequence number
+        so components that order by sequence (e.g. the cross-domain commit
+        guard) keep strict ordering between entries of the same batch.
+        """
+        if isinstance(payload, Batch):
+            if self._tracing_enabled():
+                # Guarded here (not just inside _trace): building the
+                # entry-id/tid lists walks every entry, which is wasted work
+                # per decided batch per replica when tracing is off.
+                self._trace(
+                    "batch-decide",
+                    slot=slot,
+                    payload_digest=payload.canonical_bytes(),
+                    size=len(payload),
+                    entry_ids=list(payload.entry_ids),
+                    tids=list(payload.transaction_ids()),
+                )
+            for entry in payload.entries:
+                self._delivery_seq += 1
+                self._host.consensus_decided(self._delivery_seq, entry)
+        else:
+            self._delivery_seq += 1
+            self._host.consensus_decided(self._delivery_seq, payload)
 
     def is_decided(self, slot: int) -> bool:
         return self._log.is_decided(slot)

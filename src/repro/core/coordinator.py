@@ -154,6 +154,23 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             return True
         return False
 
+    def on_submission_dropped(self, payload: Any) -> bool:
+        """Clear the pending-dedup entries of a never-proposed order.
+
+        Without this, a deposed-then-re-elected primary would treat every
+        retransmitted forward/prepare of the dropped transaction as a
+        duplicate and never propose it.  A dropped commit order needs no
+        local cleanup: the participants' periodic commit queries make the
+        current primary re-order it (see :meth:`_on_commit_query`).
+        """
+        if isinstance(payload, CoordinatorPrepareOrder):
+            self._coord_pending.pop(payload.transaction.tid, None)
+            return True
+        if isinstance(payload, ParticipantPrepareOrder):
+            self._part_pending.pop(payload.transaction.tid, None)
+            return True
+        return False
+
     # ------------------------------------------------------------------ client request (participant primary)
 
     def _on_client_request(self, request: ClientRequest) -> bool:
@@ -224,7 +241,7 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             client_address=forward.client_address,
             attempt=attempt,
         )
-        self.node.engine.propose(order)
+        self.node.engine.submit(order)
 
     def _decided_coordinator_prepare(
         self, slot: int, order: CoordinatorPrepareOrder
@@ -373,7 +390,7 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
                 sequence_parts=tuple(sorted(state.prepared_parts.items())),
                 request_digest=state.transaction.request_digest,
             )
-            self.node.engine.propose(order)
+            self.node.engine.submit(order)
         return True
 
     def _decided_coordinator_commit(self, order: CoordinatorCommitOrder) -> None:
@@ -430,6 +447,19 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
                 certificate=certificate,
             )
             self.node.multicast_domain(query.participant_domain, commit)
+        elif state.all_prepared and state.in_flight:
+            # Every participant prepared but the commit was never ordered —
+            # the previous primary's CoordinatorCommitOrder was lost (e.g.
+            # dropped from its batch buffer when it was deposed).  The
+            # participants' periodic commit queries drive the retry: re-order
+            # the commit in the current view.  Duplicate decides are
+            # idempotent (`_decided_coordinator_commit` checks `committed`).
+            order = CoordinatorCommitOrder(
+                tid=query.tid,
+                sequence_parts=tuple(sorted(state.prepared_parts.items())),
+                request_digest=state.transaction.request_digest,
+            )
+            self.node.engine.submit(order)
         return True
 
     # ------------------------------------------------------------------ participant role
@@ -513,7 +543,7 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             coordinator_sequence=prepare.coordinator_sequence,
             attempt=prepare.attempt,
         )
-        self.node.engine.propose(order)
+        self.node.engine.submit(order)
 
     def _decided_participant_prepare(
         self, slot: int, order: ParticipantPrepareOrder

@@ -201,9 +201,20 @@ class DeviceBatchProtocol(ProtocolComponent):
         if not self.node.is_height1:
             return True
         if self.node.is_primary:
-            self.node.engine.propose(payload)
+            self.node.engine.submit(payload)
         else:
             self.node.send(self.node.engine.primary_address, payload)
+        return True
+
+    def on_submission_dropped(self, payload: Any) -> bool:
+        if not isinstance(payload, DeviceBatchOrder):
+            return False
+        # Nothing upstream retransmits a device batch (the leaf quorum has
+        # already consumed it), so losing it here would lose the devices'
+        # agreed transactions for good: hand it to the current primary
+        # instead.  Re-delivery is idempotent — decided entries are deduped
+        # against the ledger.
+        self.node.send(self.node.engine.primary_address, payload)
         return True
 
     def on_decide(self, slot: int, payload: Any) -> bool:

@@ -68,7 +68,7 @@ class InternalTransactionProtocol(ProtocolComponent):
             client_address=payload.client_address,
             received_at=self.node.now(),
         )
-        self.node.engine.propose(order)
+        self.node.engine.submit(order)
 
     def _relay_to_primary(self, payload: ClientRequest) -> None:
         """Replica path: forward to the primary and watch for silence (§4.2)."""
@@ -85,6 +85,13 @@ class InternalTransactionProtocol(ProtocolComponent):
                 self.node.engine.suspect_primary()
 
         self._suspicion_timers[tid] = self.node.set_timer(timeout, _suspect)
+
+    def on_submission_dropped(self, payload: Any) -> bool:
+        if not isinstance(payload, InternalOrder):
+            return False
+        # Unblock re-proposal when the client retransmits to this node again.
+        self._in_flight.discard(payload.transaction.tid)
+        return True
 
     # -- decided payloads -----------------------------------------------------------
 

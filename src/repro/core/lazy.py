@@ -152,8 +152,17 @@ class LazyPropagation(ProtocolComponent):
         if key in self._seen_child_rounds:
             return True
         self._seen_child_rounds.add(key)
-        self.node.engine.propose(
+        self.node.engine.submit(
             BlockOrder(block=payload.block, child_domain=payload.child_domain)
+        )
+        return True
+
+    def on_submission_dropped(self, payload: Any) -> bool:
+        if not isinstance(payload, BlockOrder):
+            return False
+        # Forget the round so a retransmitted block message can re-propose it.
+        self._seen_child_rounds.discard(
+            (payload.child_domain, payload.block.round_number)
         )
         return True
 

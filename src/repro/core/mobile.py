@@ -87,6 +87,14 @@ class MobileConsensusProtocol(ProtocolComponent):
             return True
         return False
 
+    def on_submission_dropped(self, payload: Any) -> bool:
+        if not isinstance(payload, StateApplyOrder):
+            return False
+        # The state never installed: clear the outstanding-query marker so a
+        # retransmitted mobile request restarts the state transfer.
+        self._querying.discard(payload.client)
+        return True
+
     # ------------------------------------------------------------------ client requests
 
     def _on_client_request(self, request: ClientRequest) -> bool:
@@ -116,8 +124,11 @@ class MobileConsensusProtocol(ProtocolComponent):
             self._order_locally(request)
             return True
         self._buffered.setdefault(client, []).append(request)
-        if client in self._querying:
-            return True
+        # Re-multicast the query even when one is already outstanding: a
+        # retransmitted request means the transfer may have been lost (e.g.
+        # the home primary dropped its StateGenerateOrder when deposed), and
+        # duplicate queries/state installs are idempotent.  Retransmission
+        # frequency is bounded by the client's request timeout.
         self._querying.add(client)
         local_domain = self._home_domain_of(client)
         query = StateQuery(
@@ -140,13 +151,16 @@ class MobileConsensusProtocol(ProtocolComponent):
             self.node.send(self.node.engine.primary_address, request)
             return
         self._buffered.setdefault(client, []).append(request)
-        if client in self._querying:
-            return
         holder = self._remote_of.get(client)
         if holder is None:
+            if client in self._querying:
+                return  # a pull is in flight; the apply will drain the buffer
             # Nothing actually remote; process directly.
             self._order_locally(request)
             return
+        # As in `_handle_mobile_request`: re-query on retransmissions so a
+        # lost transfer (dropped StateGenerateOrder on a deposed holder
+        # primary) is re-driven instead of wedging the client forever.
         self._querying.add(client)
         query = StateQuery(
             transaction=request.transaction,
@@ -163,7 +177,7 @@ class MobileConsensusProtocol(ProtocolComponent):
             client_address=request.client_address,
             received_at=self.node.now(),
         )
-        self.node.engine.propose(order)
+        self.node.engine.submit(order)
 
     # ------------------------------------------------------------------ state-query handling
 
@@ -212,7 +226,7 @@ class MobileConsensusProtocol(ProtocolComponent):
             destination_domain=destination,
             request_digest=request_digest,
         )
-        self.node.engine.propose(order)
+        self.node.engine.submit(order)
 
     def _decided_generate(self, order: StateGenerateOrder) -> None:
         client = order.client
@@ -244,7 +258,7 @@ class MobileConsensusProtocol(ProtocolComponent):
             state=message.state,
             source_domain=message.source_domain,
         )
-        self.node.engine.propose(order)
+        self.node.engine.submit(order)
         return True
 
     def _decided_apply(self, order: StateApplyOrder) -> None:

@@ -59,6 +59,12 @@ class ProtocolComponent:
     def on_decide(self, slot: int, payload: Any) -> bool:
         return False
 
+    def on_submission_dropped(self, payload: Any) -> bool:
+        """A payload this node submitted was dropped unproposed (deposed
+        primary flushing its batch buffer); clear any in-flight dedup state
+        so a retransmission can be re-submitted later."""
+        return False
+
     def on_block_integrated(self, block: Any, child_domain: DomainId) -> None:
         """Called on height-2+ nodes after a child block enters the DAG (§5)."""
 
@@ -224,6 +230,12 @@ class SaguaroNode:
     def consensus_decided(self, slot: int, payload: Any) -> None:
         for component in self.components:
             if component.on_decide(slot, payload):
+                return
+
+    def consensus_submission_dropped(self, payload: Any) -> None:
+        """The batcher dropped an unproposed payload (node was deposed)."""
+        for component in self.components:
+            if component.on_submission_dropped(payload):
                 return
 
     def notify_block_integrated(self, block: Any, child_domain: DomainId) -> None:

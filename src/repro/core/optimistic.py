@@ -84,6 +84,13 @@ class OptimisticCrossDomainProtocol(ProtocolComponent):
         self._decided_order(payload)
         return True
 
+    def on_submission_dropped(self, payload: Any) -> bool:
+        if not isinstance(payload, OptimisticOrder):
+            return False
+        # Let a retransmitted request re-propose the never-ordered payload.
+        self._proposed.discard(payload.transaction.tid)
+        return True
+
     # ------------------------------------------------------------------ height-1: ordering
 
     def _on_client_request(self, request: ClientRequest) -> bool:
@@ -150,7 +157,7 @@ class OptimisticCrossDomainProtocol(ProtocolComponent):
             initiator_domain=self.node.domain.id,
             client_address=client_address,
         )
-        self.node.engine.propose(order)
+        self.node.engine.submit(order)
 
     def _decided_order(self, order: OptimisticOrder) -> None:
         transaction = order.transaction

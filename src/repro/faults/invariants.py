@@ -28,6 +28,12 @@ meaningful:
 ``cross-atomicity``
     A cross-domain transaction is committed on *all* of its involved domains
     or on none of them.
+``batch-atomicity``
+    The decide-time ledger appends of one decided batch land contiguously on
+    each replica, in batch-entry order — a batch is applied as a unit, never
+    interleaved with other appends.  (Entries whose append happens later —
+    cross-domain prepares that commit on a separate message — are covered by
+    ``cross-atomicity`` instead.)
 ``liveness`` (optional)
     Every issued transaction reached a final state (committed or aborted);
     checked only when the fault plan leaves each domain within its fault
@@ -120,9 +126,15 @@ class InvariantChecker:
         violations += self._check_replica_consistency()
         violations += self._check_cross_atomicity()
         if self.trace is not None and len(self.trace):
-            checks += ["conflicting-decide", "decide-quorum", "certificate-quorum"]
+            checks += [
+                "conflicting-decide",
+                "decide-quorum",
+                "certificate-quorum",
+                "batch-atomicity",
+            ]
             violations += self._check_decides()
             violations += self._check_certificates()
+            violations += self._check_batch_atomicity()
         if expect_liveness:
             checks.append("liveness")
             violations += self._check_liveness()
@@ -400,6 +412,71 @@ class InvariantChecker:
                         domain=event.domain,
                         tid=event.tid,
                         detail=problem,
+                    )
+                )
+        return violations
+
+    def _check_batch_atomicity(self) -> List[InvariantViolation]:
+        """Decide-time appends of one batch are contiguous and in batch order.
+
+        Each ``batch-decide`` trace event names the transactions its entries
+        carry, in entry order.  On every node, the appends that the batch
+        delivery triggered synchronously (same node, same simulated instant,
+        tid listed in the batch) must form one consecutive run of that node's
+        append stream, ordered as the batch orders them.  Entries that do not
+        append at decide time (e.g. cross-domain prepares, which append when
+        the coordinator's commit arrives) are exempt here and covered by the
+        cross-atomicity check.
+        """
+        violations: List[InvariantViolation] = []
+        assert self.trace is not None
+        appends_by_node: Dict[str, List[Tuple[float, Optional[str]]]] = {}
+        for event in self.trace.events("append"):
+            if event.node is None:
+                continue
+            appends_by_node.setdefault(event.node, []).append(
+                (event.at_ms, event.tid)
+            )
+        for event in self.trace.events("batch-decide"):
+            batch_tids = [tid for tid in event.get("tids", ()) if tid]
+            if not batch_tids or event.node is None:
+                continue
+            tid_set = set(batch_tids)
+            node_appends = appends_by_node.get(event.node, [])
+            positions = [
+                (index, tid)
+                for index, (at_ms, tid) in enumerate(node_appends)
+                if at_ms == event.at_ms and tid in tid_set
+            ]
+            if not positions:
+                continue  # nothing appended at decide time (aborted as a unit)
+            indices = [index for index, _ in positions]
+            if indices != list(range(indices[0], indices[0] + len(indices))):
+                violations.append(
+                    InvariantViolation(
+                        invariant="batch-atomicity",
+                        domain=event.domain,
+                        detail=(
+                            f"{event.node}: appends of batch "
+                            f"{(event.digest or '')[:12]} (slot {event.slot}) "
+                            f"interleave with other appends at positions "
+                            f"{indices}"
+                        ),
+                    )
+                )
+                continue
+            appended_order = [tid for _, tid in positions]
+            expected_order = [tid for tid in batch_tids if tid in set(appended_order)]
+            if appended_order != expected_order:
+                violations.append(
+                    InvariantViolation(
+                        invariant="batch-atomicity",
+                        domain=event.domain,
+                        detail=(
+                            f"{event.node}: batch {(event.digest or '')[:12]} "
+                            f"(slot {event.slot}) appended out of batch order: "
+                            f"{appended_order} != {expected_order}"
+                        ),
                     )
                 )
         return violations

@@ -5,6 +5,11 @@ and the equivocation fault-plan scenario with ``check_invariants=True`` —
 every safety invariant (and, where faults permit, bounded liveness) is
 asserted, so a regression in the protocols, the fault subsystem, or the
 checker itself fails CI within seconds.
+
+``python -m repro.faults.smoke batch`` runs the batched variant instead: the
+same hostile equivocation plan plus a crash-recover plan, both ordered through
+the consensus batcher (``batch_size > 1``), so CI also proves that safety —
+including the batch-atomicity invariant — survives batching under adversaries.
 """
 
 from __future__ import annotations
@@ -14,23 +19,40 @@ import sys
 from repro.scenarios import ScenarioRunner, registry
 
 
-def main() -> int:
-    runner = ScenarioRunner(check_invariants=True)
-    checks = [
+def _default_checks():
+    return [
         registry.get("fig07a").with_overrides(num_transactions=48, num_clients=8),
         registry.get("byz-equivocation"),
     ]
+
+
+def _batch_checks():
+    batched = dict(batch_size=8, batch_timeout_ms=2.0)
+    return [
+        registry.get("byz-equivocation").with_overrides(**batched),
+        registry.get("byz-crash-recover").with_overrides(**batched),
+    ]
+
+
+def main(mode: str = "default") -> int:
+    if mode not in ("default", "batch"):
+        print(f"unknown smoke mode {mode!r}; known: default, batch", file=sys.stderr)
+        return 2
+    runner = ScenarioRunner(check_invariants=True)
+    checks = _batch_checks() if mode == "batch" else _default_checks()
     for scenario in checks:
         run = runner.execute(scenario)
         assert run.summary is not None
         trace = run.trace
+        batched = f" batch_size={scenario.batch_size}" if scenario.batch_size > 1 else ""
         print(
             f"{scenario.name}: committed={run.summary.committed} "
             f"aborted={run.summary.aborted} pending={run.summary.pending} "
-            f"trace_events={len(trace) if trace is not None else 0} — invariants ok"
+            f"trace_events={len(trace) if trace is not None else 0}{batched}"
+            " — invariants ok"
         )
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "default"))

@@ -43,9 +43,9 @@ def _digest_hex(value: Any) -> Optional[str]:
     return str(value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
-    """One recorded protocol event.
+    """One recorded protocol event (slotted: one per protocol event recorded).
 
     ``kind`` is a short slug (``"propose"``, ``"commit-vote"``, ``"decide"``,
     ``"append"``, ``"certify"``, ``"handoff:prepare"``, ``"fault:crash"``, ...);

@@ -119,6 +119,15 @@ class ScenarioBuilder:
         self._fields["think_time_ms"] = think_time_ms
         return self
 
+    def batching(
+        self, batch_size: int, batch_timeout_ms: Optional[float] = None
+    ) -> "ScenarioBuilder":
+        """Configure consensus request batching (``batch_size=1`` disables)."""
+        self._fields["batch_size"] = batch_size
+        if batch_timeout_ms is not None:
+            self._fields["batch_timeout_ms"] = batch_timeout_ms
+        return self
+
     def limits(
         self,
         max_simulated_ms: Optional[float] = None,

@@ -43,6 +43,8 @@ __all__ = [
     "figure_base",
     "PAPER_FIGURES",
     "ADVERSARIAL_SCENARIOS",
+    "BATCH_SWEEP_SIZES",
+    "BATCH_SWEEP_SCENARIOS",
 ]
 
 _REGISTRY: Dict[str, Scenario] = {}
@@ -295,9 +297,50 @@ def _register_adversarial_scenarios() -> None:
 
 _register_adversarial_scenarios()
 
+
+# ---------------------------------------------------------------------------
+# Batch sweep (the fig_batch scenario family)
+# ---------------------------------------------------------------------------
+
+#: Batch sizes the fig_batch benchmark sweeps.
+BATCH_SWEEP_SIZES: Tuple[int, ...] = (1, 8, 32, 128)
+
+
+def _register_batch_sweep() -> None:
+    """The batching throughput sweep: fig13's topology under saturating load.
+
+    Derived from the fig13 base (BFT domains, LAN profile) at ``faults=2``
+    (|p| = 7) with an internal-only workload and enough closed-loop clients
+    to saturate the unbatched primaries — the regime where one-slot-per-
+    request consensus is message-bound and batching pays.  One scenario per
+    swept batch size; ``batch-sweep`` aliases the unbatched base.
+    """
+    base = get("fig13").with_overrides(
+        name="batch-sweep",
+        faults=2,
+        cross_domain_ratio=0.0,
+        num_clients=160,
+        num_transactions=1000,
+        batch_timeout_ms=2.0,
+    )
+    register("batch-sweep", base)
+    for size in BATCH_SWEEP_SIZES:
+        register(
+            f"batch-sweep-b{size:03d}",
+            base.with_overrides(name=f"batch-sweep-b{size:03d}", batch_size=size),
+        )
+
+
+_register_batch_sweep()
+
 #: The figure names the registry guarantees (tested for completeness).
 PAPER_FIGURES: Tuple[str, ...] = (
     "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+)
+
+#: Registered batch-sweep scenarios (swept by the fig_batch benchmark).
+BATCH_SWEEP_SCENARIOS: Tuple[str, ...] = tuple(
+    f"batch-sweep-b{size:03d}" for size in BATCH_SWEEP_SIZES
 )
 
 #: Registered Byzantine fault-plan scenarios (tested for safety invariants).

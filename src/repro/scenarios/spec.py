@@ -420,6 +420,8 @@ class Scenario:
     think_time_ms: float = 0.5
     max_simulated_ms: float = 600_000.0
     drain_ms: Optional[float] = None
+    batch_size: int = 1
+    batch_timeout_ms: float = 5.0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "seeds", tuple(_as_tuple(self.seeds)))
@@ -465,6 +467,12 @@ class Scenario:
             raise ConfigurationError("max_simulated_ms must be positive")
         if self.drain_ms is not None and self.drain_ms < 0:
             raise ConfigurationError("drain_ms must be non-negative when given")
+        if not isinstance(self.batch_size, int) or isinstance(self.batch_size, bool):
+            raise ConfigurationError("batch_size must be an integer")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.batch_timeout_ms <= 0:
+            raise ConfigurationError("batch_timeout_ms must be positive")
 
     # ------------------------------------------------------------------ building blocks
 
@@ -493,6 +501,8 @@ class Scenario:
             rounds=RoundConfig(height1_interval_ms=self.round_interval_ms),
             latency_profile=self.latency_profile,
             seed=seed,
+            batch_size=self.batch_size,
+            batch_timeout_ms=self.batch_timeout_ms,
         )
 
     def build_hierarchy(self):
@@ -596,6 +606,8 @@ class Scenario:
             "think_time_ms": self.think_time_ms,
             "max_simulated_ms": self.max_simulated_ms,
             "drain_ms": self.drain_ms,
+            "batch_size": self.batch_size,
+            "batch_timeout_ms": self.batch_timeout_ms,
         }
 
     @classmethod
@@ -639,6 +651,11 @@ class Scenario:
             f"mobile={workload.mobile_ratio:.0%}) over {self.num_clients} clients",
             f"  application: {self.application.kind}",
         ]
+        if self.batch_size > 1:
+            lines.append(
+                f"  batching: size={self.batch_size}, "
+                f"timeout={self.batch_timeout_ms:g}ms"
+            )
         if self.fault_schedule:
             rendered = ", ".join(
                 f"{e.action} {e.domain}"

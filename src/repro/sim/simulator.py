@@ -21,6 +21,8 @@ __all__ = ["Simulator", "Timer"]
 class Timer:
     """A cancellable timeout, used for protocol timers (view change, deadlock)."""
 
+    __slots__ = ("_event",)
+
     def __init__(self, event: ScheduledEvent) -> None:
         self._event = event
 

@@ -149,3 +149,41 @@ class TestConcurrentCrossDomainTransactions:
             coordinator_deployment.total_committed_transactions()
             == len(transactions)
         )
+
+
+class TestLostCommitOrderRecovery:
+    def test_commit_query_reorders_a_lost_commit(self, coordinator_deployment):
+        """A prepared-everywhere transaction whose CoordinatorCommitOrder was
+        lost (e.g. dropped from a deposed primary's batch buffer) is
+        re-ordered when a participant's commit query reaches the primary."""
+        from repro.core.coordinator import _CoordinationState
+        from repro.core.messages import CommitQuery, CoordinatorCommitOrder
+
+        component = _coordinator_component(coordinator_deployment, D21)
+        node = component.node
+        transaction = cross_transfer((D11, D12), client=_client(D01))
+        state = _CoordinationState(
+            transaction=transaction,
+            origin_domain=D11,
+            client_address="probe",
+        )
+        state.coordinator_sequence = 1
+        state.prepared_parts = {D11: 3, D12: 4}
+        state.all_prepared = True
+        component._coord[transaction.tid] = state
+
+        query = CommitQuery(
+            tid=transaction.tid,
+            participant_domain=D11,
+            coordinator_sequence=1,
+            participant_sequence=3,
+            request_digest=transaction.request_digest,
+            sender="D11:n0",
+        )
+        assert component.handle_message(query, "D11:n0")
+        # batch_size=1 ⇒ the retried commit was proposed immediately into a slot.
+        assert node.engine.batcher.pending_count == 0
+        assert transaction.tid in {
+            p.tid for p in node.engine._proposals.values()
+            if isinstance(p, CoordinatorCommitOrder)
+        }
