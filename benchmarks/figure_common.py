@@ -33,13 +33,17 @@ from repro.scenarios import LoadPoint, Scenario, ScenarioRunner, registry
 
 __all__ = [
     "LOAD_LEVELS",
+    "BENCH_HISTORY_LABEL",
     "cross_domain_figure",
     "mobile_figure",
     "scalability_figure",
     "batch_figure",
+    "xbatch_figure",
+    "wide_area_saturated_point",
     "run_once",
     "record_bench",
     "load_bench_baseline",
+    "load_bench_history",
     "write_bench_results",
     "paper_cross_domain_variants",
 ]
@@ -58,6 +62,11 @@ _RUNNER = ScenarioRunner(check_invariants=True)
 BENCH_RESULTS_PATH = os.path.abspath(
     os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_results.json")
 )
+
+#: The committed file's ``history`` entry this session writes into (one entry
+#: per PR: figure -> tps/latency/events_per_sec).  Bump once per PR so the
+#: trajectory grows one point per PR instead of overwriting the last.
+BENCH_HISTORY_LABEL = "PR4"
 
 _BENCH_RECORDS: List[Dict[str, Any]] = []
 
@@ -87,24 +96,38 @@ def record_bench(
 BASELINE_REGRESSION_TOLERANCE = 0.10
 
 
-def load_bench_baseline(path: Optional[str] = None) -> Dict[str, Dict[str, Any]]:
-    """The committed ``BENCH_results.json`` of the previous session, by figure.
-
-    Returns an empty mapping when no baseline exists yet (first run) or the
-    file is unreadable — the trajectory starts accumulating from this session.
-    """
+def _load_bench_payload(path: Optional[str] = None) -> Dict[str, Any]:
     target = path or BENCH_RESULTS_PATH
     try:
         with open(target, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     except (OSError, ValueError):
         return {}
+    return payload if isinstance(payload, dict) else {}
+
+
+def load_bench_baseline(path: Optional[str] = None) -> Dict[str, Dict[str, Any]]:
+    """The committed ``BENCH_results.json`` of the previous session, by figure.
+
+    Returns an empty mapping when no baseline exists yet (first run) or the
+    file is unreadable — the trajectory starts accumulating from this session.
+    """
     baseline: Dict[str, Dict[str, Any]] = {}
-    for entry in payload.get("results", ()):
+    for entry in _load_bench_payload(path).get("results", ()):
         figure = entry.get("figure")
         if figure:
             baseline[figure] = entry
     return baseline
+
+
+def load_bench_history(path: Optional[str] = None) -> List[Dict[str, Any]]:
+    """The committed per-PR history: ``[{"label", "figures": {...}}, ...]``.
+
+    One entry per PR, oldest first; each maps figure name to its headline
+    numbers (throughput_tps / avg_latency_ms / events_per_sec) at that PR.
+    """
+    history = _load_bench_payload(path).get("history", [])
+    return [entry for entry in history if isinstance(entry, dict)]
 
 
 def _report_bench_deltas(
@@ -138,27 +161,76 @@ def _report_bench_deltas(
             )
 
 
+def _report_bench_history(
+    history: List[Dict[str, Any]], records: List[Dict[str, Any]]
+) -> None:
+    """Print the trend over the whole committed trajectory, not just the
+    last-vs-current delta: one line per re-run figure, one point per PR."""
+    past = [
+        entry for entry in history if entry.get("label") != BENCH_HISTORY_LABEL
+    ]
+    if not past:
+        return
+    print("\nBENCH trend over history (tps per PR):")
+    for entry in records:
+        figure = entry["figure"]
+        points = []
+        for snapshot in past:
+            figures = snapshot.get("figures", {})
+            if figure in figures:
+                points.append(
+                    f"{figures[figure].get('throughput_tps', 0.0):.1f} "
+                    f"({snapshot.get('label', '?')})"
+                )
+        points.append(f"{entry['throughput_tps']:.1f} ({BENCH_HISTORY_LABEL})")
+        print(f"  {figure:24s} " + " -> ".join(points))
+
+
 def write_bench_results(path: Optional[str] = None) -> Optional[str]:
     """Dump every recorded figure result as JSON; returns the path written.
 
     Called from the benchmark conftest at session end so the performance
     trajectory (throughput, latency, simulator events/second) is tracked
     across PRs.  Before overwriting, the committed baseline is loaded and
-    per-figure deltas are printed — a >10% throughput regression warns but
+    per-figure deltas plus the trend over the whole committed ``history``
+    (one entry per PR) are printed — a >10% throughput regression warns but
     never fails, since absolute numbers are machine-bound.  Baseline figures
     *not* re-run this session are carried over unchanged, so a partial run
     (e.g. one figure's benchmark file) never erases the rest of the history.
-    No-op when no benchmark recorded anything this session.
+    The session's numbers are also folded into the history entry labelled
+    :data:`BENCH_HISTORY_LABEL` (replacing it, so re-runs within one PR stay
+    one entry).  No-op when no benchmark recorded anything this session.
     """
     if not _BENCH_RECORDS:
         return None
     target = path or BENCH_RESULTS_PATH
     records = sorted(_BENCH_RECORDS, key=lambda entry: entry["figure"])
     baseline = load_bench_baseline(target)
+    history = load_bench_history(target)
     _report_bench_deltas(baseline, records)
+    _report_bench_history(history, records)
     merged = dict(baseline)
     merged.update({entry["figure"]: entry for entry in records})
-    payload = {"results": [merged[figure] for figure in sorted(merged)]}
+    current_figures: Dict[str, Dict[str, Any]] = {}
+    for entry in history:
+        if entry.get("label") == BENCH_HISTORY_LABEL:
+            current_figures = dict(entry.get("figures", {}))
+    current_figures.update(
+        {
+            entry["figure"]: {
+                key: value for key, value in entry.items() if key != "figure"
+            }
+            for entry in records
+        }
+    )
+    history = [
+        entry for entry in history if entry.get("label") != BENCH_HISTORY_LABEL
+    ]
+    history.append({"label": BENCH_HISTORY_LABEL, "figures": current_figures})
+    payload = {
+        "results": [merged[figure] for figure in sorted(merged)],
+        "history": history,
+    }
     with open(target, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -378,6 +450,106 @@ def batch_figure(
             f"{run.summary.avg_latency_ms:7.2f} ms avg  "
             f"{run.summary.p95_latency_ms:8.2f} ms p95"
         )
+    return results
+
+
+def xbatch_figure(
+    title: str,
+    group_sizes: Optional[Sequence[int]] = None,
+    figure: str = "fig_xbatch",
+) -> Dict[int, PerformanceSummary]:
+    """The cross-domain batching sweep (fig_xbatch): grouped 2PC throughput.
+
+    Sweeps the registered ``xbatch-sweep`` scenario family — fig10's
+    wide-area topology saturated with cross-domain traffic — over
+    ``xdomain_batch_size``, recording one headline entry per group size.
+    This is the apples-to-apples evidence for the grouped 2PC win: same
+    workload, same load, only the grouping knob moves.
+    """
+    sizes = tuple(
+        group_sizes if group_sizes is not None else registry.XBATCH_SWEEP_SIZES
+    )
+    base = registry.get("xbatch-sweep")
+    results: Dict[int, PerformanceSummary] = {}
+    print()
+    print(title)
+    print("-" * len(title))
+    for size in sizes:
+        scenario = base.with_overrides(
+            name=f"xbatch-sweep-g{size:03d}", xdomain_batch_size=size
+        )
+        run, events_per_sec = _timed_checked_run(scenario)
+        assert run.summary is not None
+        results[size] = run.summary
+        record_bench(
+            f"{figure}/g{size:03d}",
+            throughput_tps=run.summary.throughput_tps,
+            avg_latency_ms=run.summary.avg_latency_ms,
+            events_per_sec=events_per_sec,
+        )
+        print(
+            f"xdomain_batch={size:3d}  ->  {run.summary.throughput_tps:9.1f} tps  "
+            f"{run.summary.avg_latency_ms:7.2f} ms avg  "
+            f"{run.summary.p95_latency_ms:8.2f} ms p95"
+        )
+    return results
+
+
+#: Saturating closed-loop load for the wide-area headline point: enough
+#: concurrent clients that the cross-domain exchanges queue instead of the
+#: run ending while the system idles (the 8/32-client sweep of the shape
+#: table stays far below capacity on the wide-area profile).
+WIDE_AREA_SATURATED_CLIENTS = 640
+WIDE_AREA_SATURATED_TRANSACTIONS = 1920
+
+
+def wide_area_saturated_point(
+    figure: str,
+    failure_model: FailureModel,
+    group_sizes: Sequence[int] = (1, 8, 32),
+) -> Dict[int, PerformanceSummary]:
+    """The recorded fig10 headline: the wide-area figure at saturating load.
+
+    Runs the fig10 base (10% cross-domain, wide-area regions) under
+    saturating closed-loop load with the batched ordering core on, sweeping
+    ``xdomain_batch_size`` and recording the best point — the committed
+    wide-area number now reflects the system's actual capacity instead of
+    the tail latency of a nearly idle run.
+    """
+    base = _base_config(
+        failure_model, "wide-area", cross_domain_ratio=0.10
+    ).with_overrides(
+        num_clients=WIDE_AREA_SATURATED_CLIENTS,
+        num_transactions=WIDE_AREA_SATURATED_TRANSACTIONS,
+        batch_size=32,
+        batch_timeout_ms=2.0,
+        xdomain_batch_timeout_ms=10.0,
+    )
+    results: Dict[int, PerformanceSummary] = {}
+    best: Optional[PerformanceSummary] = None
+    best_events: Optional[float] = None
+    for size in group_sizes:
+        run, events_per_sec = _timed_checked_run(
+            base.with_overrides(
+                name=f"{figure}-saturated-g{size:03d}", xdomain_batch_size=size
+            )
+        )
+        assert run.summary is not None
+        results[size] = run.summary
+        print(
+            f"  {figure} saturated xdomain_batch={size:3d}  ->  "
+            f"{run.summary.throughput_tps:9.1f} tps  "
+            f"{run.summary.avg_latency_ms:7.2f} ms avg"
+        )
+        if best is None or run.summary.throughput_tps > best.throughput_tps:
+            best, best_events = run.summary, events_per_sec
+    assert best is not None
+    record_bench(
+        figure,
+        throughput_tps=best.throughput_tps,
+        avg_latency_ms=best.avg_latency_ms,
+        events_per_sec=best_events,
+    )
     return results
 
 

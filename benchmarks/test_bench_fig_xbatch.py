@@ -1,0 +1,39 @@
+"""fig_xbatch: throughput scaling of grouped cross-domain 2PC.
+
+Sweeps the ``xbatch-sweep`` scenario family — fig10's wide-area topology
+(CFT domains, seven-region placement) saturated with 100% cross-domain
+traffic — across ``xdomain_batch_size`` {1, 8, 32}.  One prepare/commit
+exchange per transaction is message-bound in this regime: the ungrouped
+coordinator queues WAN exchanges and latency balloons, while grouping
+amortises agreement and 2PC messaging across every member of a
+(coordinator, participant-set) group.  The acceptance gate for the grouped
+protocol lives here: the best group size must carry at least 2x the
+ungrouped throughput on the identical workload, with every run
+invariant-checked (including group atomicity).
+"""
+
+from figure_common import xbatch_figure
+
+
+def test_figure_xbatch_throughput_scales(benchmark):
+    def run():
+        return xbatch_figure(
+            title="fig_xbatch: grouped cross-domain 2PC (fig10 topology, wide-area)",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    ungrouped = results[1].throughput_tps
+    best = max(summary.throughput_tps for summary in results.values())
+    assert ungrouped > 0
+    # The tentpole acceptance: grouping must buy at least 2x throughput on
+    # the identical saturated wide-area workload.
+    assert best >= 2.0 * ungrouped, (
+        f"best xdomain_batch_size reached only {best:.1f} tps vs "
+        f"{ungrouped:.1f} tps ungrouped ({best / ungrouped:.2f}x < 2x)"
+    )
+    # Amortising the WAN exchanges must also cut latency under load.
+    best_size = max(results, key=lambda size: results[size].throughput_tps)
+    assert results[best_size].avg_latency_ms < results[1].avg_latency_ms
+    for summary in results.values():
+        assert summary.pending == 0
+        assert summary.aborted == 0

@@ -46,3 +46,72 @@ def test_write_bench_results_is_noop_without_records(tmp_path, monkeypatch):
 
 def test_load_bench_baseline_handles_missing_file(tmp_path):
     assert figure_common.load_bench_baseline(str(tmp_path / "missing.json")) == {}
+
+
+def test_write_bench_results_appends_one_history_entry_per_pr(tmp_path, monkeypatch):
+    """The committed history grows one entry per PR (trajectory depth)."""
+    target = tmp_path / "BENCH_results.json"
+    target.write_text(
+        json.dumps(
+            {
+                "results": [_entry("fig07a", 100.0)],
+                "history": [
+                    {"label": "PR2", "figures": {"fig07a": {"throughput_tps": 90.0}}},
+                    {"label": "PR3", "figures": {"fig07a": {"throughput_tps": 100.0}}},
+                ],
+            }
+        )
+    )
+    monkeypatch.setattr(figure_common, "_BENCH_RECORDS", [_entry("fig07a", 120.0)])
+    figure_common.write_bench_results(path=str(target))
+    payload = json.loads(target.read_text())
+    labels = [entry["label"] for entry in payload["history"]]
+    assert labels == ["PR2", "PR3", figure_common.BENCH_HISTORY_LABEL]
+    current = payload["history"][-1]["figures"]
+    assert current["fig07a"]["throughput_tps"] == 120.0
+    assert "figure" not in current["fig07a"]
+
+
+def test_write_bench_results_replaces_the_current_pr_history_entry(tmp_path, monkeypatch):
+    """Re-running benchmarks within one PR updates (not duplicates) its entry."""
+    target = tmp_path / "BENCH_results.json"
+    label = figure_common.BENCH_HISTORY_LABEL
+    target.write_text(
+        json.dumps(
+            {
+                "results": [_entry("fig07a", 100.0)],
+                "history": [
+                    {"label": "PR3", "figures": {"fig07a": {"throughput_tps": 100.0}}},
+                    {
+                        "label": label,
+                        "figures": {
+                            "fig07a": {"throughput_tps": 110.0},
+                            "fig_other": {"throughput_tps": 5.0},
+                        },
+                    },
+                ],
+            }
+        )
+    )
+    monkeypatch.setattr(figure_common, "_BENCH_RECORDS", [_entry("fig07a", 120.0)])
+    figure_common.write_bench_results(path=str(target))
+    payload = json.loads(target.read_text())
+    labels = [entry["label"] for entry in payload["history"]]
+    assert labels == ["PR3", label]
+    current = payload["history"][-1]["figures"]
+    assert current["fig07a"]["throughput_tps"] == 120.0
+    assert current["fig_other"]["throughput_tps"] == 5.0  # carried within the PR
+
+
+def test_report_bench_history_prints_the_trend(tmp_path, monkeypatch, capsys):
+    history = [
+        {"label": "PR2", "figures": {"fig10a": {"throughput_tps": 148.9}}},
+        {"label": "PR3", "figures": {"fig10a": {"throughput_tps": 148.9}}},
+    ]
+    figure_common._report_bench_history(history, [_entry("fig10a", 300.0)])
+    out = capsys.readouterr().out
+    assert "148.9 (PR2) -> 148.9 (PR3) -> 300.0" in out
+
+
+def test_load_bench_history_handles_missing_file(tmp_path):
+    assert figure_common.load_bench_history(str(tmp_path / "missing.json")) == []

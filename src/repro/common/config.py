@@ -189,6 +189,13 @@ class DeploymentConfig:
     payloads (or whatever arrived within ``batch_timeout_ms`` of the first)
     and order them in a single slot.  ``batch_size=1`` disables batching and
     is bit-identical to the unbatched engines.
+
+    ``xdomain_batch_size`` / ``xdomain_batch_timeout_ms`` configure the
+    coordinator's cross-domain 2PC grouping: an LCA primary accumulates
+    cross-domain transactions per participant set and runs one grouped
+    prepare/commit exchange per group, amortising the wide-area round trips.
+    ``xdomain_batch_size=1`` disables grouping and is bit-identical to the
+    per-transaction coordinator.
     """
 
     hierarchy: HierarchySpec = field(default_factory=HierarchySpec)
@@ -201,12 +208,18 @@ class DeploymentConfig:
     seed: int = 2023
     batch_size: int = 1
     batch_timeout_ms: float = 5.0
+    xdomain_batch_size: int = 1
+    xdomain_batch_timeout_ms: float = 10.0
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
         if self.batch_timeout_ms <= 0:
             raise ConfigurationError("batch_timeout_ms must be positive")
+        if self.xdomain_batch_size < 1:
+            raise ConfigurationError("xdomain_batch_size must be >= 1")
+        if self.xdomain_batch_timeout_ms <= 0:
+            raise ConfigurationError("xdomain_batch_timeout_ms must be positive")
 
     def costs_for(self, model: FailureModel) -> NodeCostModel:
         if model is FailureModel.CRASH:

@@ -421,6 +421,22 @@ class ConsensusEngine(abc.ABC):
         """
         return self.batcher.submit(payload)
 
+    def submit_group(self, payload: Any) -> Optional[int]:
+        """Order one pre-aggregated group payload (grouped cross-domain 2PC).
+
+        Group payloads carry a ``group_id`` and many member transactions; the
+        whole group is agreed on in one ``submit()`` round.  They still ride
+        the engine's batcher — a deposed primary's batch drop notifies the
+        host once per group payload, so the coordinator can re-group and
+        retry its members instead of silently losing them.
+        """
+        if getattr(payload, "group_id", None) is None:
+            raise ConsensusError(
+                "submit_group() takes a group payload carrying a group_id, "
+                f"got {type(payload).__name__}"
+            )
+        return self.batcher.submit(payload)
+
     @abc.abstractmethod
     def handle_message(self, message: Any, sender: str) -> bool:
         """Process an engine message.  Returns ``False`` if not recognised."""

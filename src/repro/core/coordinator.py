@@ -14,6 +14,18 @@ per-coordinator timers that abort and retry (§4.1).
 One :class:`CoordinatorCrossDomainProtocol` instance runs on every server
 node; the same component plays the participant role on height-1 nodes and the
 coordinator role on height-2+ nodes.
+
+**Batch-aware cross-domain commit** (``xdomain_batch_size > 1``): the
+coordinator accumulates cross-domain transactions per participant set and
+runs *one* grouped prepare/commit exchange per group — a single
+:class:`~repro.core.messages.GroupCrossPrepare` carries every member, each
+participant orders the whole group through its consensus engine in one
+``submit_group()`` round and answers with one aggregated vote, and the
+commit/abort messages carry per-transaction outcomes so one member aborting
+never aborts its groupmates.  This amortises the wide-area 2PC round trips
+the same way the consensus batcher amortises intra-domain agreement.  With
+``xdomain_batch_size == 1`` the grouped machinery is inert and the protocol
+is bit-identical to the per-transaction coordinator.
 """
 
 from __future__ import annotations
@@ -34,10 +46,19 @@ from repro.core.messages import (
     CrossForward,
     CrossPrepare,
     CrossPrepared,
+    GroupCommitOrder,
+    GroupCrossAbort,
+    GroupCrossAck,
+    GroupCrossCommit,
+    GroupCrossPrepare,
+    GroupCrossPrepared,
+    GroupParticipantPrepareOrder,
+    GroupPrepareOrder,
     ParticipantPrepareOrder,
     PreparedQuery,
 )
 from repro.core.node import ProtocolComponent, SaguaroNode
+from repro.crypto.digests import digest
 from repro.ledger.transaction import Transaction
 
 __all__ = ["CoordinatorCrossDomainProtocol"]
@@ -66,6 +87,8 @@ class _CoordinationState:
     aborted: bool = False
     acks: Set[str] = field(default_factory=set)
     timer: Any = None
+    #: The grouped exchange this member currently belongs to (grouped mode).
+    group_id: Optional[str] = None
 
     @property
     def in_flight(self) -> bool:
@@ -102,6 +125,29 @@ class _ParticipantState:
         return self.prepared and not self.committed and not self.aborted
 
 
+@dataclass
+class _GroupState:
+    """Coordinator-side bookkeeping for one grouped prepare/commit exchange."""
+
+    group_id: str
+    member_order: Tuple[TransactionId, ...]
+    participants: Tuple[DomainId, ...]
+    coordinator_sequence: int = 0
+    commit_submitted: bool = False
+    timer: Any = None
+
+
+@dataclass
+class _ParticipantGroupState:
+    """Participant-side record of one ordered group (for vote re-sends)."""
+
+    group_id: str
+    coordinator_domain: DomainId
+    coordinator_sequence: int
+    participant_sequence: int
+    tids: Tuple[TransactionId, ...]
+
+
 class CoordinatorCrossDomainProtocol(ProtocolComponent):
     """Implements Algorithm 1 on both coordinator and participant nodes."""
 
@@ -115,9 +161,26 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
         self._part_pending: Dict[TransactionId, Transaction] = {}
         self._part_queue: List[CrossPrepare] = []
         self._deferred_commits: Dict[TransactionId, CrossCommit] = {}
-        self._waiting_on_dependency: Dict[TransactionId, List[CrossPrepare]] = {}
+        self._waiting_on_dependency: Dict[TransactionId, List[Any]] = {}
         # Where to send the reply (populated on the origin domain only).
         self._client_of: Dict[TransactionId, str] = {}
+        # Grouped 2PC (xdomain batching): coordinator-side accumulation and
+        # per-group exchange state.  Inert when xdomain_batch_size == 1.
+        self._group_size = node.config.xdomain_batch_size
+        self._group_timeout_ms = node.config.xdomain_batch_timeout_ms
+        self._group_accum: Dict[
+            Tuple[DomainId, ...], List[CoordinatorPrepareOrder]
+        ] = {}
+        self._group_accum_timers: Dict[Tuple[DomainId, ...], Any] = {}
+        self._group_pending: Dict[str, GroupPrepareOrder] = {}
+        self._groups: Dict[str, _GroupState] = {}
+        #: Group ids are namespaced by the minting node's address, so a new
+        #: primary can never re-mint an id a deposed primary's in-flight
+        #: group already carries (participants dedup by (coordinator, gid)).
+        self._next_group_number = 1
+        # Participant-side group state, keyed by (coordinator domain, gid).
+        self._pgroup_pending: Dict[Tuple[DomainId, str], GroupCrossPrepare] = {}
+        self._pgroups: Dict[Tuple[DomainId, str], _ParticipantGroupState] = {}
 
     # ------------------------------------------------------------------ dispatch
 
@@ -140,6 +203,16 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             return self._on_commit_query(payload)
         if isinstance(payload, PreparedQuery):
             return self._on_prepared_query(payload)
+        if isinstance(payload, GroupCrossPrepare):
+            return self._on_group_prepare(payload)
+        if isinstance(payload, GroupCrossPrepared):
+            return self._on_group_prepared(payload)
+        if isinstance(payload, GroupCrossCommit):
+            return self._on_group_commit(payload)
+        if isinstance(payload, GroupCrossAbort):
+            return self._on_group_abort(payload)
+        if isinstance(payload, GroupCrossAck):
+            return self._on_group_ack(payload)
         return False
 
     def on_decide(self, slot: int, payload: Any) -> bool:
@@ -151,6 +224,15 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             return True
         if isinstance(payload, CoordinatorCommitOrder):
             self._decided_coordinator_commit(payload)
+            return True
+        if isinstance(payload, GroupPrepareOrder):
+            self._decided_group_prepare(slot, payload)
+            return True
+        if isinstance(payload, GroupParticipantPrepareOrder):
+            self._decided_group_participant_prepare(slot, payload)
+            return True
+        if isinstance(payload, GroupCommitOrder):
+            self._decided_group_commit(payload)
             return True
         return False
 
@@ -168,6 +250,25 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             return True
         if isinstance(payload, ParticipantPrepareOrder):
             self._part_pending.pop(payload.transaction.tid, None)
+            return True
+        if isinstance(payload, GroupPrepareOrder):
+            # A deposed coordinator dropped a never-proposed group: forget the
+            # members so client retransmissions re-group through the current
+            # primary (and through this node, if it is re-elected later).
+            self._group_pending.pop(payload.group_id, None)
+            for member in payload.members:
+                self._coord_pending.pop(member.transaction.tid, None)
+            return True
+        if isinstance(payload, GroupParticipantPrepareOrder):
+            self._pgroup_pending.pop(
+                (payload.coordinator_domain, payload.group_id), None
+            )
+            for transaction in payload.transactions:
+                self._part_pending.pop(transaction.tid, None)
+            return True
+        if isinstance(payload, GroupCommitOrder):
+            # No local cleanup: participants' commit queries re-drive the
+            # commit through the current primary (see `_on_commit_query`).
             return True
         return False
 
@@ -230,7 +331,17 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
         # Conflicting requests coordinated by this domain are pipelined: the
         # prepare message carries explicit ordering dependencies (``after``)
         # instead of holding the new request back until the earlier commits.
-        self._propose_coordinator_prepare(forward, attempt=1)
+        if self._group_size > 1:
+            self._enqueue_group_member(
+                CoordinatorPrepareOrder(
+                    transaction=forward.transaction,
+                    origin_domain=forward.origin_domain,
+                    client_address=forward.client_address,
+                    attempt=1,
+                )
+            )
+        else:
+            self._propose_coordinator_prepare(forward, attempt=1)
         return True
 
     def _propose_coordinator_prepare(self, forward: CrossForward, attempt: int) -> None:
@@ -306,11 +417,14 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
                 dependencies.append(other.transaction.tid)
         return tuple(dependencies)
 
-    def _arm_deadlock_timer(self, state: _CoordinationState) -> None:
+    def _cross_domain_delay(self) -> float:
         """Different coordinators use staggered timers to avoid repeated clashes."""
         timers = self.node.config.timers
         stagger = timers.deadlock_backoff_ms * (self.node.domain.id.index - 1)
-        delay = timers.cross_domain_timeout_ms + stagger
+        return timers.cross_domain_timeout_ms + stagger
+
+    def _arm_deadlock_timer(self, state: _CoordinationState) -> None:
+        delay = self._cross_domain_delay()
         tid = state.transaction.tid
 
         def _expired() -> None:
@@ -381,6 +495,20 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             return True
         if message.coordinator_sequence != state.coordinator_sequence:
             return True  # belongs to a previous attempt
+        if state.group_id is not None:
+            # A held-back group member prepared individually: fold the vote
+            # into its grouped exchange so the commit still aggregates.
+            group = self._groups.get(state.group_id)
+            if group is not None and not group.commit_submitted:
+                accepted = self._record_group_votes(
+                    group,
+                    message.participant_domain,
+                    (message.tid,),
+                    message.participant_sequence,
+                )
+                if accepted:
+                    self._maybe_commit_group(group)
+            return True
         state.prepared_parts[message.participant_domain] = message.participant_sequence
         involved = set(state.transaction.involved_domains)
         if set(state.prepared_parts) == involved:
@@ -462,6 +590,347 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             self.node.engine.submit(order)
         return True
 
+    # ------------------------------------------------------------------ coordinator role: grouped 2PC
+
+    def _enqueue_group_member(self, member: CoordinatorPrepareOrder) -> None:
+        """Accumulate one cross-domain transaction into its participant-set
+        group; flush when the group fills (or its timeout fires)."""
+        tid = member.transaction.tid
+        self._coord_pending[tid] = member.transaction
+        key = tuple(sorted(member.transaction.involved_domains))
+        bucket = self._group_accum.setdefault(key, [])
+        bucket.append(member)
+        if len(bucket) >= self._group_size:
+            self._flush_group(key)
+            return
+        timer = self._group_accum_timers.get(key)
+        if timer is None or not timer.active:
+            self._group_accum_timers[key] = self.node.set_timer(
+                self._group_timeout_ms, lambda: self._flush_group(key)
+            )
+
+    def _flush_group(self, key: Tuple[DomainId, ...]) -> None:
+        timer = self._group_accum_timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        members = self._group_accum.pop(key, [])
+        if not members:
+            return
+        if not self.node.is_primary:
+            # Deposed while accumulating: the members were never proposed, so
+            # clear their dedup entries and let retransmissions re-group
+            # through the current primary.
+            for member in members:
+                self._coord_pending.pop(member.transaction.tid, None)
+            return
+        group_id = f"{self.node.address}#{self._next_group_number}"
+        self._next_group_number += 1
+        order = GroupPrepareOrder(group_id=group_id, members=tuple(members))
+        self._group_pending[group_id] = order
+        self.node.engine.submit_group(order)
+
+    def _decided_group_prepare(self, slot: int, order: GroupPrepareOrder) -> None:
+        group_id = order.group_id
+        self._group_pending.pop(group_id, None)
+        member_order: List[TransactionId] = []
+        for member in order.members:
+            tid = member.transaction.tid
+            self._coord_pending.pop(tid, None)
+            state = self._coord.get(tid)
+            if state is None:
+                state = _CoordinationState(
+                    transaction=member.transaction,
+                    origin_domain=member.origin_domain,
+                    client_address=member.client_address,
+                )
+                self._coord[tid] = state
+            member_order.append(tid)
+            if state.committed or state.aborted:
+                continue  # already terminal (duplicate re-group)
+            state.coordinator_sequence = slot
+            state.attempt = member.attempt
+            state.group_id = group_id
+            state.all_prepared = False
+            state.prepared_parts.clear()
+        participants = tuple(sorted(order.members[0].transaction.involved_domains))
+        group = _GroupState(
+            group_id=group_id,
+            member_order=tuple(member_order),
+            participants=participants,
+            coordinator_sequence=slot,
+        )
+        self._groups[group_id] = group
+        if not self.node.is_primary:
+            return
+        self.node.record_trace(
+            "handoff:group-prepare",
+            gid=group_id,
+            slot=slot,
+            tids=[tid.name for tid in group.member_order],
+            participants=[d.name for d in participants],
+        )
+        self._send_group_prepare(group)
+        self._arm_group_timer(group)
+
+    def _group_digest(self, transactions: Tuple[Transaction, ...]) -> bytes:
+        return digest(b"xdomain-group", *[t.request_digest for t in transactions])
+
+    def _send_group_prepare(self, group: _GroupState) -> None:
+        states = [self._coord[tid] for tid in group.member_order]
+        transactions = tuple(state.transaction for state in states)
+        group_digest = self._group_digest(transactions)
+        certificate = self.node.certify(group_digest)
+        for domain_id in group.participants:
+            # Union of the members' ordering dependencies.  Groupmates can
+            # never appear here: every live member shares the group's decided
+            # slot, and `_ordering_dependencies` only reports strictly earlier
+            # coordinator sequences.
+            after: List[TransactionId] = []
+            for state in states:
+                for dependency in self._ordering_dependencies(state, domain_id):
+                    if dependency not in after:
+                        after.append(dependency)
+            prepare = GroupCrossPrepare(
+                transactions=transactions,
+                coordinator_domain=self.node.domain.id,
+                coordinator_sequence=group.coordinator_sequence,
+                group_id=group.group_id,
+                group_digest=group_digest,
+                certificate=certificate,
+                after=tuple(after),
+            )
+            self.node.multicast_domain(domain_id, prepare)
+
+    def _arm_group_timer(self, group: _GroupState) -> None:
+        group_id = group.group_id
+
+        def _expired() -> None:
+            self._on_group_timer_expired(group_id)
+
+        if group.timer is not None:
+            group.timer.cancel()
+        group.timer = self.node.set_timer(self._cross_domain_delay(), _expired)
+
+    def _live_group_members(self, group: _GroupState) -> List[_CoordinationState]:
+        """Members of ``group`` still driven by this grouped exchange."""
+        members = []
+        for tid in group.member_order:
+            state = self._coord.get(tid)
+            if state is None or not state.in_flight:
+                continue
+            if state.group_id != group.group_id:
+                continue  # re-grouped into a later exchange
+            members.append(state)
+        return members
+
+    def _on_group_timer_expired(self, group_id: str) -> None:
+        """Per-member timeout outcomes: commit the fully prepared members of
+        the group, abort-and-regroup (or finally abort) the rest."""
+        group = self._groups.get(group_id)
+        if group is None or group.commit_submitted or not self.node.is_primary:
+            return
+        prepared: List[_CoordinationState] = []
+        retry: List[_CoordinationState] = []
+        final: List[_CoordinationState] = []
+        for state in self._live_group_members(group):
+            if set(state.prepared_parts) == set(state.transaction.involved_domains):
+                prepared.append(state)
+            elif state.attempt >= MAX_ATTEMPTS:
+                final.append(state)
+            else:
+                retry.append(state)
+        if retry:
+            self._send_group_abort(group, retry, "group-timeout-retry", will_retry=True)
+            retry_tids = []
+            for state in retry:
+                state.prepared_parts.clear()
+                state.attempt += 1
+                state.group_id = None
+                retry_tids.append(state.transaction.tid)
+            backoff = self.node.config.timers.deadlock_backoff_ms
+            self.node.set_timer(backoff, lambda: self._regroup_members(retry_tids))
+        if final:
+            for state in final:
+                state.aborted = True
+                state.group_id = None
+            self._send_group_abort(group, final, "max attempts", will_retry=False)
+        if prepared:
+            self._submit_group_commit(group, prepared)
+        else:
+            group.commit_submitted = True  # exchange closed without commits
+
+    def _regroup_members(self, tids: List[TransactionId]) -> None:
+        """Re-enqueue abort-retried members into the next group (retry path)."""
+        if not self.node.is_primary:
+            return
+        for tid in tids:
+            state = self._coord.get(tid)
+            if state is None or not state.in_flight or state.group_id is not None:
+                continue
+            self._enqueue_group_member(
+                CoordinatorPrepareOrder(
+                    transaction=state.transaction,
+                    origin_domain=state.origin_domain,
+                    client_address=state.client_address,
+                    attempt=state.attempt,
+                )
+            )
+
+    def _send_group_abort(
+        self,
+        group: _GroupState,
+        states: List[_CoordinationState],
+        reason: str,
+        will_retry: bool,
+    ) -> None:
+        """One aggregated abort (retried or final) for part of a group."""
+        tids = tuple(state.transaction.tid for state in states)
+        self.node.record_trace(
+            "handoff:group-abort",
+            gid=group.group_id,
+            tids=[tid.name for tid in tids],
+            will_retry=will_retry,
+        )
+        abort = GroupCrossAbort(
+            group_id=group.group_id,
+            coordinator_domain=self.node.domain.id,
+            tids=tids,
+            reason=reason,
+            will_retry=will_retry,
+        )
+        self.node.multicast_domains(list(group.participants), abort)
+
+    def _on_group_prepared(self, message: GroupCrossPrepared) -> bool:
+        if self.node.domain.height < 2:
+            return False
+        if not self.node.is_primary:
+            return True
+        group = self._groups.get(message.group_id)
+        if group is None or group.commit_submitted:
+            return True
+        if message.coordinator_sequence != group.coordinator_sequence:
+            return True  # belongs to a previous attempt
+        accepted = self._record_group_votes(
+            group, message.participant_domain, message.tids, message.participant_sequence
+        )
+        if accepted:
+            self._maybe_commit_group(group)
+        return True
+
+    def _record_group_votes(
+        self,
+        group: _GroupState,
+        participant: DomainId,
+        tids: Tuple[TransactionId, ...],
+        participant_sequence: int,
+    ) -> List[TransactionId]:
+        """Fold one participant's per-member votes into the group's members."""
+        accepted: List[TransactionId] = []
+        for tid in tids:
+            state = self._coord.get(tid)
+            if state is None or not state.in_flight:
+                continue
+            if state.group_id != group.group_id:
+                continue
+            state.prepared_parts[participant] = participant_sequence
+            if set(state.prepared_parts) == set(state.transaction.involved_domains):
+                state.all_prepared = True
+            accepted.append(tid)
+        if accepted:
+            self.node.record_trace(
+                "handoff:group-vote",
+                gid=group.group_id,
+                participant=participant.name,
+                tids=[tid.name for tid in accepted],
+                slot=participant_sequence,
+            )
+        return accepted
+
+    def _maybe_commit_group(self, group: _GroupState) -> None:
+        """Submit one aggregated commit once every live member fully prepared."""
+        if group.commit_submitted or not self.node.is_primary:
+            return
+        members = self._live_group_members(group)
+        if not members:
+            return
+        if not all(member.all_prepared for member in members):
+            return
+        self._submit_group_commit(group, members)
+
+    def _submit_group_commit(
+        self, group: _GroupState, members: List[_CoordinationState]
+    ) -> None:
+        group.commit_submitted = True
+        if group.timer is not None:
+            group.timer.cancel()
+        commits = tuple(
+            CoordinatorCommitOrder(
+                tid=member.transaction.tid,
+                sequence_parts=tuple(sorted(member.prepared_parts.items())),
+                request_digest=member.transaction.request_digest,
+            )
+            for member in members
+        )
+        self.node.engine.submit_group(
+            GroupCommitOrder(group_id=group.group_id, commits=commits)
+        )
+
+    def _decided_group_commit(self, order: GroupCommitOrder) -> None:
+        group = self._groups.get(order.group_id)
+        if group is not None:
+            group.commit_submitted = True
+            if group.timer is not None:
+                group.timer.cancel()
+        committed: List[CoordinatorCommitOrder] = []
+        for member in order.commits:
+            state = self._coord.get(member.tid)
+            if state is None or state.committed:
+                continue
+            state.committed = True
+            if state.timer is not None:
+                state.timer.cancel()
+            committed.append(member)
+        if not self.node.is_primary or not committed:
+            return
+        self.node.record_trace(
+            "handoff:group-commit",
+            gid=order.group_id,
+            tids=[member.tid.name for member in committed],
+        )
+        commit_digest = digest(
+            b"xdomain-group-commit", *[m.request_digest for m in committed]
+        )
+        certificate = self.node.certify(commit_digest)
+        commits = tuple(
+            CrossCommit(
+                tid=member.tid,
+                coordinator_domain=self.node.domain.id,
+                sequence_parts=member.sequence_parts,
+                request_digest=member.request_digest,
+            )
+            for member in committed
+        )
+        if group is not None:
+            participants = list(group.participants)
+        else:  # recovered state: derive the set from the first member's parts
+            participants = [d for d, _ in committed[0].sequence_parts]
+        message = GroupCrossCommit(
+            group_id=order.group_id,
+            coordinator_domain=self.node.domain.id,
+            commits=commits,
+            certificate=certificate,
+        )
+        self.node.multicast_domains(participants, message)
+
+    def _on_group_ack(self, message: GroupCrossAck) -> bool:
+        if self.node.domain.height < 2:
+            return False
+        for tid in message.tids:
+            state = self._coord.get(tid)
+            if state is not None:
+                state.acks.add(message.participant)
+        return True
+
     # ------------------------------------------------------------------ participant role
 
     def _on_prepare(self, prepare: CrossPrepare) -> bool:
@@ -508,7 +977,10 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
         """Re-admit prepares that were waiting for ``tid`` to be ordered."""
         waiting = self._waiting_on_dependency.pop(tid, [])
         for prepare in waiting:
-            self._on_prepare(prepare)
+            if isinstance(prepare, GroupCrossPrepare):
+                self._on_group_prepare(prepare)
+            else:
+                self._on_prepare(prepare)
 
     def _conflicts_with_inflight_participation(
         self, transaction: Transaction, coordinator_domain: Optional[DomainId] = None
@@ -611,6 +1083,173 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             state.timer.cancel()
         state.timer = self.node.set_timer(timers.commit_query_timeout_ms, _expired)
 
+    # ------------------------------------------------------------------ participant role: grouped 2PC
+
+    def _on_group_prepare(self, prepare: GroupCrossPrepare) -> bool:
+        if not self.node.is_height1:
+            return False
+        if not any(t.involves(self.node.domain.id) for t in prepare.transactions):
+            return True
+        if not self.node.is_primary:
+            return True
+        key = (prepare.coordinator_domain, prepare.group_id)
+        ordered = self._pgroups.get(key)
+        if ordered is not None:
+            # Duplicate group prepare: re-send the aggregated vote.
+            self._send_group_prepared(ordered)
+            return True
+        if key in self._pgroup_pending:
+            return True
+        missing = self._missing_dependency(prepare)
+        if missing is not None:
+            # The coordinator ordered an earlier conflicting transaction this
+            # domain has not ordered yet: hold the whole group (pipelined).
+            self._waiting_on_dependency.setdefault(missing, []).append(prepare)
+            return True
+        accepted: List[Transaction] = []
+        for transaction in prepare.transactions:
+            tid = transaction.tid
+            existing = self._part.get(tid)
+            if existing is not None and existing.prepared:
+                # Already ordered by an earlier attempt: vote individually.
+                self._send_prepared(existing)
+                continue
+            if tid in self._part_pending:
+                continue
+            if self._conflicts_with_inflight_participation(
+                transaction, prepare.coordinator_domain
+            ):
+                # Held members fall back to the per-transaction path: they are
+                # queued and ordered (then voted on) individually once the
+                # conflicting foreign-coordinator transaction resolves, so one
+                # conflicted member never stalls its groupmates.
+                self._part_queue.append(
+                    CrossPrepare(
+                        transaction=transaction,
+                        coordinator_domain=prepare.coordinator_domain,
+                        coordinator_sequence=prepare.coordinator_sequence,
+                        request_digest=transaction.request_digest,
+                    )
+                )
+                continue
+            accepted.append(transaction)
+        if accepted:
+            for transaction in accepted:
+                self._part_pending[transaction.tid] = transaction
+            self._pgroup_pending[key] = prepare
+            order = GroupParticipantPrepareOrder(
+                group_id=prepare.group_id,
+                coordinator_domain=prepare.coordinator_domain,
+                coordinator_sequence=prepare.coordinator_sequence,
+                transactions=tuple(accepted),
+            )
+            self.node.engine.submit_group(order)
+        return True
+
+    def _decided_group_participant_prepare(
+        self, slot: int, order: GroupParticipantPrepareOrder
+    ) -> None:
+        key = (order.coordinator_domain, order.group_id)
+        self._pgroup_pending.pop(key, None)
+        ordered: List[TransactionId] = []
+        for transaction in order.transactions:
+            tid = transaction.tid
+            self._part_pending.pop(tid, None)
+            state = self._part.get(tid)
+            if state is None:
+                state = _ParticipantState(
+                    transaction=transaction,
+                    coordinator_domain=order.coordinator_domain,
+                    coordinator_sequence=order.coordinator_sequence,
+                )
+                self._part[tid] = state
+            if state.committed or state.aborted:
+                continue
+            state.coordinator_domain = order.coordinator_domain
+            state.coordinator_sequence = order.coordinator_sequence
+            # All members share the group's slot: groupmates never defer each
+            # other's commits, and the aggregated commit applies them in
+            # member order — identical on every participant.
+            state.participant_sequence = slot
+            state.prepared = True
+            ordered.append(tid)
+            self._arm_commit_query_timer(state)
+        group = _ParticipantGroupState(
+            group_id=order.group_id,
+            coordinator_domain=order.coordinator_domain,
+            coordinator_sequence=order.coordinator_sequence,
+            participant_sequence=slot,
+            tids=tuple(ordered),
+        )
+        self._pgroups[key] = group
+        if not self.node.is_primary:
+            return
+        if ordered:
+            self._send_group_prepared(group)
+        for tid in ordered:
+            self._release_dependents(tid)
+
+    def _send_group_prepared(self, group: _ParticipantGroupState) -> None:
+        if not group.tids:
+            return
+        vote_digest = digest(
+            b"xdomain-group-prepared", *[tid.name.encode() for tid in group.tids]
+        )
+        certificate = self.node.certify(vote_digest)
+        self.node.record_trace(
+            "handoff:group-prepared",
+            gid=group.group_id,
+            slot=group.participant_sequence,
+            tids=[tid.name for tid in group.tids],
+            coordinator=group.coordinator_domain.name,
+        )
+        prepared = GroupCrossPrepared(
+            group_id=group.group_id,
+            participant_domain=self.node.domain.id,
+            coordinator_sequence=group.coordinator_sequence,
+            participant_sequence=group.participant_sequence,
+            tids=group.tids,
+            certificate=certificate,
+        )
+        self.node.multicast_domain(group.coordinator_domain, prepared)
+
+    def _on_group_commit(self, message: GroupCrossCommit) -> bool:
+        if not self.node.is_height1:
+            return False
+        applied: List[TransactionId] = []
+        for member in message.commits:
+            state = self._part.get(member.tid)
+            if state is None or state.committed:
+                continue
+            if self._must_defer_commit(state):
+                self._deferred_commits[member.tid] = member
+                continue
+            self._apply_commit(state, member, send_ack=False, drain=False)
+            applied.append(member.tid)
+        self._apply_deferred_commits()
+        if applied and self.node.is_primary:
+            # One queue drain per grouped commit, not one per member.
+            self._drain_participant_queue()
+        if applied:
+            ack = GroupCrossAck(
+                group_id=message.group_id,
+                participant=self.node.address,
+                tids=tuple(applied),
+            )
+            self.node.send(
+                self.node.primary_address_of(message.coordinator_domain), ack
+            )
+        return True
+
+    def _on_group_abort(self, message: GroupCrossAbort) -> bool:
+        if not self.node.is_height1:
+            return False
+        for tid in message.tids:
+            self._abort_participant_member(tid, message.reason, message.will_retry)
+        if self.node.is_primary:
+            self._drain_participant_queue()
+        return True
+
     def _on_commit(self, commit: CrossCommit) -> bool:
         if not self.node.is_height1:
             return False
@@ -641,24 +1280,36 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
                 return True
         return False
 
-    def _apply_commit(self, state: _ParticipantState, commit: CrossCommit) -> None:
+    def _apply_commit(
+        self,
+        state: _ParticipantState,
+        commit: CrossCommit,
+        send_ack: bool = True,
+        drain: bool = True,
+    ) -> None:
+        """Apply one commit; ``send_ack=False``/``drain=False`` let the
+        grouped path aggregate the ack and the queue drain per message
+        instead of per member."""
         state.committed = True
         if state.timer is not None:
             state.timer.cancel()
         if self.node.ledger is not None and commit.tid not in self.node.ledger:
             self.node.append_and_execute(state.transaction, TransactionStatus.COMMITTED)
             self.node.note_commit(commit.tid)
-        ack = CrossAck(
-            tid=commit.tid,
-            participant=self.node.address,
-            coordinator_sequence=state.coordinator_sequence,
-        )
-        self.node.send(self.node.primary_address_of(commit.coordinator_domain), ack)
+        if send_ack:
+            ack = CrossAck(
+                tid=commit.tid,
+                participant=self.node.address,
+                coordinator_sequence=state.coordinator_sequence,
+            )
+            self.node.send(
+                self.node.primary_address_of(commit.coordinator_domain), ack
+            )
         if self.node.is_primary and commit.tid in self._client_of:
             self.node.reply_to_client(
                 self._client_of.pop(commit.tid), state.transaction, success=True
             )
-        if self.node.is_primary:
+        if drain and self.node.is_primary:
             self._drain_participant_queue()
 
     def _apply_deferred_commits(self) -> None:
@@ -678,40 +1329,47 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
     def _on_abort(self, abort: CrossAbort) -> bool:
         if not self.node.is_height1:
             return False
+        self._abort_participant_member(abort.tid, abort.reason, abort.will_retry)
+        if self.node.is_primary:
+            self._drain_participant_queue()
+        return True
+
+    def _abort_participant_member(
+        self, tid: TransactionId, reason: str, will_retry: bool
+    ) -> None:
+        """Participant-side handling of one aborted transaction (single path
+        and grouped path share this; group aborts never touch groupmates)."""
         if self.node.is_primary:
             # Anything waiting for the aborted transaction's ordering can run.
-            self._release_dependents(abort.tid)
-        state = self._part.get(abort.tid)
+            self._release_dependents(tid)
+        state = self._part.get(tid)
         if state is not None and not state.committed:
             if state.timer is not None:
                 state.timer.cancel()
-            if abort.will_retry:
+            if will_retry:
                 # The coordinator will re-issue a prepare: forget this attempt.
-                del self._part[abort.tid]
+                del self._part[tid]
             else:
                 state.aborted = True
-                self.node.note_abort(abort.tid, abort.reason)
-                if self.node.is_primary and abort.tid in self._client_of:
+                self.node.note_abort(tid, reason)
+                if self.node.is_primary and tid in self._client_of:
                     self.node.reply_to_client(
-                        self._client_of.pop(abort.tid),
+                        self._client_of.pop(tid),
                         state.transaction,
                         success=False,
                     )
-        elif state is None and not abort.will_retry:
+        elif state is None and not will_retry:
             # Final abort for an attempt this domain never ordered (e.g. the
             # retried prepare was lost or wedged behind a faulty slot): the
             # abort is still this transaction's final state, so record it and
             # answer the waiting client instead of leaving it retransmitting.
-            self._part_pending.pop(abort.tid, None)
-            self.node.note_abort(abort.tid, abort.reason)
-            if self.node.is_primary and abort.tid in self._client_of:
+            self._part_pending.pop(tid, None)
+            self.node.note_abort(tid, reason)
+            if self.node.is_primary and tid in self._client_of:
                 reply = ClientReply(
-                    tid=abort.tid, success=False, responder=self.node.address
+                    tid=tid, success=False, responder=self.node.address
                 )
-                self.node.send(self._client_of.pop(abort.tid), reply)
-        if self.node.is_primary:
-            self._drain_participant_queue()
-        return True
+                self.node.send(self._client_of.pop(tid), reply)
 
     def _drain_participant_queue(self) -> None:
         remaining: List[CrossPrepare] = []
@@ -739,3 +1397,10 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
 
     def participant_transactions(self) -> Tuple[TransactionId, ...]:
         return tuple(self._part.keys())
+
+    def coordinated_groups(self) -> Tuple[str, ...]:
+        """Group ids of every grouped exchange this coordinator decided."""
+        return tuple(self._groups.keys())
+
+    def group_members(self, group_id: str) -> Tuple[TransactionId, ...]:
+        return self._groups[group_id].member_order

@@ -39,6 +39,12 @@ __all__ = [
     "CrossAck",
     "CommitQuery",
     "PreparedQuery",
+    # batch-aware cross-domain commit (grouped 2PC)
+    "GroupCrossPrepare",
+    "GroupCrossPrepared",
+    "GroupCrossCommit",
+    "GroupCrossAbort",
+    "GroupCrossAck",
     # optimistic protocol (§6)
     "OptimisticForward",
     "OptimisticDecision",
@@ -53,6 +59,9 @@ __all__ = [
     "CoordinatorPrepareOrder",
     "ParticipantPrepareOrder",
     "CoordinatorCommitOrder",
+    "GroupPrepareOrder",
+    "GroupParticipantPrepareOrder",
+    "GroupCommitOrder",
     "OptimisticOrder",
     "BlockOrder",
     "StateGenerateOrder",
@@ -219,6 +228,120 @@ class PreparedQuery:
 
 
 # ---------------------------------------------------------------------------
+# Batch-aware cross-domain commit (grouped 2PC)
+#
+# The coordinator accumulates cross-domain transactions per participant set
+# and runs *one* prepare/commit exchange per group.  Grouped messages carry
+# every member transaction; per-transaction outcomes stay independent (one
+# member aborting never aborts its groupmates).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GroupCrossPrepare:
+    """One grouped ⟨PREPARE⟩ carrying all member transactions of a group.
+
+    Sent by the coordinator to every involved domain instead of one
+    :class:`CrossPrepare` per transaction.  All members share the same
+    participant set (that is the grouping key), the same coordinator
+    sequence, and the same ``after`` ordering dependencies.
+    """
+
+    transactions: Tuple[Transaction, ...]
+    coordinator_domain: DomainId
+    coordinator_sequence: int
+    group_id: str
+    group_digest: bytes
+    certificate: Optional[QuorumCertificate] = None
+    after: Tuple[TransactionId, ...] = ()
+
+    @property
+    def verify_count(self) -> int:
+        return len(self.certificate.signatures) if self.certificate else 1
+
+    @property
+    def size_kb(self) -> float:
+        return 0.1 + 0.2 * len(self.transactions)
+
+
+@dataclass(frozen=True)
+class GroupCrossPrepared:
+    """One grouped ⟨PREPARED⟩ vote: per-member outcomes in a single message.
+
+    ``tids`` lists the members this participant ordered (in its group order);
+    members it had to hold back (conflicts) are voted on individually later,
+    through the classic :class:`CrossPrepared` path.
+    """
+
+    group_id: str
+    participant_domain: DomainId
+    coordinator_sequence: int
+    participant_sequence: int
+    tids: Tuple[TransactionId, ...]
+    certificate: Optional[QuorumCertificate] = None
+
+    @property
+    def verify_count(self) -> int:
+        return len(self.certificate.signatures) if self.certificate else 1
+
+    @property
+    def size_kb(self) -> float:
+        return 0.1 + 0.05 * len(self.tids)
+
+
+@dataclass(frozen=True)
+class GroupCrossCommit:
+    """One grouped ⟨COMMIT⟩: the per-member commits of one group exchange.
+
+    Only members whose parts all prepared are included; the outer certificate
+    covers the whole group (the inner commits carry none).
+    """
+
+    group_id: str
+    coordinator_domain: DomainId
+    commits: Tuple[CrossCommit, ...]
+    certificate: Optional[QuorumCertificate] = None
+
+    @property
+    def verify_count(self) -> int:
+        return len(self.certificate.signatures) if self.certificate else 1
+
+    @property
+    def size_kb(self) -> float:
+        return 0.1 + 0.15 * len(self.commits)
+
+
+@dataclass(frozen=True)
+class GroupCrossAbort:
+    """One grouped abort for the members of a group that did not prepare."""
+
+    group_id: str
+    coordinator_domain: DomainId
+    tids: Tuple[TransactionId, ...]
+    reason: str = ""
+    will_retry: bool = False
+    verify_count: int = 1
+
+    @property
+    def size_kb(self) -> float:
+        return 0.1 + 0.02 * len(self.tids)
+
+
+@dataclass(frozen=True)
+class GroupCrossAck:
+    """One grouped ⟨ACK⟩ from a participant node for every applied member."""
+
+    group_id: str
+    participant: str
+    tids: Tuple[TransactionId, ...]
+    verify_count: int = 1
+
+    @property
+    def size_kb(self) -> float:
+        return 0.1 + 0.02 * len(self.tids)
+
+
+# ---------------------------------------------------------------------------
 # Optimistic protocol (§6)
 # ---------------------------------------------------------------------------
 
@@ -359,6 +482,38 @@ class CoordinatorCommitOrder:
     tid: TransactionId
     sequence_parts: Tuple[Tuple[DomainId, int], ...]
     request_digest: bytes
+
+
+@dataclass(frozen=True)
+class GroupPrepareOrder:
+    """The LCA domain agrees to coordinate one *group* of cross-domain
+    requests (all sharing the same participant set) in one consensus round."""
+
+    group_id: str
+    members: Tuple[CoordinatorPrepareOrder, ...]
+
+    @property
+    def transactions(self) -> Tuple[Transaction, ...]:
+        """Member transactions in group order (feeds batch tracing)."""
+        return tuple(member.transaction for member in self.members)
+
+
+@dataclass(frozen=True)
+class GroupParticipantPrepareOrder:
+    """A participant domain reserves one local order for a whole group."""
+
+    group_id: str
+    coordinator_domain: DomainId
+    coordinator_sequence: int
+    transactions: Tuple[Transaction, ...]
+
+
+@dataclass(frozen=True)
+class GroupCommitOrder:
+    """The LCA domain agrees which group members prepared everywhere."""
+
+    group_id: str
+    commits: Tuple[CoordinatorCommitOrder, ...]
 
 
 @dataclass(frozen=True)

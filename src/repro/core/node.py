@@ -62,7 +62,12 @@ class ProtocolComponent:
     def on_submission_dropped(self, payload: Any) -> bool:
         """A payload this node submitted was dropped unproposed (deposed
         primary flushing its batch buffer); clear any in-flight dedup state
-        so a retransmission can be re-submitted later."""
+        so a retransmission can be re-submitted later.
+
+        Group payloads (grouped cross-domain 2PC orders) are dropped as one
+        unit: the notification fires once per group payload, and the handler
+        must clear the dedup state of *every* member so retransmitted
+        forwards can re-group through the current primary."""
         return False
 
     def on_block_integrated(self, block: Any, child_domain: DomainId) -> None:

@@ -34,6 +34,14 @@ meaningful:
     interleaved with other appends.  (Entries whose append happens later —
     cross-domain prepares that commit on a separate message — are covered by
     ``cross-atomicity`` instead.)
+``group-atomicity``
+    Per-member outcomes of every grouped 2PC exchange are correct: a grouped
+    exchange commits exactly the members whose parts all prepared (every
+    committed member is backed by prepared votes from every participant
+    received before the commit, a member fully prepared before the group's
+    outcome is never dropped, and no member is both committed and finally
+    aborted).  One member aborting must not abort its groupmates; each
+    member's cross-domain atomicity is still covered by ``cross-atomicity``.
 ``liveness`` (optional)
     Every issued transaction reached a final state (committed or aborted);
     checked only when the fault plan leaves each domain within its fault
@@ -131,10 +139,12 @@ class InvariantChecker:
                 "decide-quorum",
                 "certificate-quorum",
                 "batch-atomicity",
+                "group-atomicity",
             ]
             violations += self._check_decides()
             violations += self._check_certificates()
             violations += self._check_batch_atomicity()
+            violations += self._check_group_atomicity()
         if expect_liveness:
             checks.append("liveness")
             violations += self._check_liveness()
@@ -479,6 +489,87 @@ class InvariantChecker:
                         ),
                     )
                 )
+        return violations
+
+    def _check_group_atomicity(self) -> List[InvariantViolation]:
+        """Grouped 2PC exchanges commit exactly the fully-prepared members.
+
+        Replays every grouped exchange from its coordinator-side events: the
+        membership from ``group-prepare``, the per-participant vote receipts
+        from ``group-vote``, and the per-member outcomes from ``group-commit``
+        / ``group-abort``.  Trace sequence numbers order evidence against
+        outcome: a commit may only cover members whose votes from *every*
+        participant were received before it, a member fully voted before the
+        group's first commit must be part of it (unless individually retried
+        or aborted), and no member is both committed and finally aborted.
+        """
+        violations: List[InvariantViolation] = []
+        assert self.trace is not None
+        for (domain_name, gid), events in self.trace.group_exchanges().items():
+            if not events["prepare"]:
+                continue  # exchange never took effect on a primary
+            prepare = events["prepare"][0]
+            members = [tid for tid in prepare.get("tids", ()) if tid]
+            member_set = set(members)
+            participants = set(prepare.get("participants", ()))
+            committed: Dict[str, int] = {}
+            for event in events["commit"]:
+                for tid in event.get("tids", ()):
+                    committed.setdefault(tid, event.seq)
+            final_aborted: Set[str] = set()
+            retried: Set[str] = set()
+            for event in events["abort"]:
+                target = retried if event.get("will_retry") else final_aborted
+                target.update(event.get("tids", ()))
+            votes: Dict[str, Dict[str, int]] = {}
+            for event in events["vote"]:
+                participant = event.get("participant")
+                for tid in event.get("tids", ()):
+                    votes.setdefault(tid, {}).setdefault(participant, event.seq)
+
+            def _blame(detail: str, tid: Optional[str] = None) -> None:
+                violations.append(
+                    InvariantViolation(
+                        invariant="group-atomicity",
+                        domain=domain_name,
+                        tid=tid,
+                        detail=f"group {gid}: {detail}",
+                    )
+                )
+
+            for tid, commit_seq in sorted(committed.items()):
+                if tid not in member_set:
+                    _blame("committed a transaction outside the group", tid)
+                    continue  # the missing votes are the same defect
+                unbacked = participants - {
+                    participant
+                    for participant, vote_seq in votes.get(tid, {}).items()
+                    if vote_seq < commit_seq
+                }
+                if unbacked:
+                    _blame(
+                        "committed without prepared votes from "
+                        f"{sorted(unbacked)}",
+                        tid,
+                    )
+                if tid in final_aborted:
+                    _blame("both committed and finally aborted", tid)
+            if committed and participants:
+                first_commit_seq = min(committed.values())
+                for tid in members:
+                    if tid in committed or tid in retried or tid in final_aborted:
+                        continue
+                    voted = votes.get(tid, {})
+                    fully_prepared = all(
+                        participant in voted and voted[participant] < first_commit_seq
+                        for participant in participants
+                    )
+                    if fully_prepared:
+                        _blame(
+                            "fully prepared before the group outcome but "
+                            "left uncommitted",
+                            tid,
+                        )
         return violations
 
     # ------------------------------------------------------------------ liveness

@@ -1,32 +1,42 @@
-"""CI smoke check: one small figure plus one hostile scenario, fully checked.
+"""CI smoke check: small invariant-checked scenarios, one mode per subsystem.
 
-Run with ``python -m repro.faults.smoke``.  Executes a scaled-down Figure 7(a)
-and the equivocation fault-plan scenario with ``check_invariants=True`` —
-every safety invariant (and, where faults permit, bounded liveness) is
-asserted, so a regression in the protocols, the fault subsystem, or the
-checker itself fails CI within seconds.
+Run with ``python -m repro.faults.smoke [mode]``.  Every mode executes a short
+list of scenarios with ``check_invariants=True`` — every safety invariant
+(and, where faults permit, bounded liveness) is asserted, so a regression in
+the protocols, the fault subsystem, or the checker itself fails CI within
+seconds.
 
-``python -m repro.faults.smoke batch`` runs the batched variant instead: the
-same hostile equivocation plan plus a crash-recover plan, both ordered through
-the consensus batcher (``batch_size > 1``), so CI also proves that safety —
-including the batch-atomicity invariant — survives batching under adversaries.
+Modes (the dispatch is table-driven; add a mode by adding one entry):
+
+``default``
+    A scaled-down Figure 7(a) plus the equivocation fault-plan scenario.
+``batch``
+    Hostile scenarios ordered through the consensus batcher
+    (``batch_size > 1``), proving safety — including batch atomicity —
+    survives batching under adversaries.
+``xbatch``
+    Grouped cross-domain 2PC (``xdomain_batch_size > 1``) on the fig10
+    wide-area topology, plus a hostile partition-flap run with grouping on —
+    proving cross-domain atomicity and the group-atomicity invariant hold
+    when 2PC exchanges are batched.
 """
 
 from __future__ import annotations
 
 import sys
+from typing import Callable, Dict, List
 
-from repro.scenarios import ScenarioRunner, registry
+from repro.scenarios import Scenario, ScenarioRunner, registry
 
 
-def _default_checks():
+def _default_checks() -> List[Scenario]:
     return [
         registry.get("fig07a").with_overrides(num_transactions=48, num_clients=8),
         registry.get("byz-equivocation"),
     ]
 
 
-def _batch_checks():
+def _batch_checks() -> List[Scenario]:
     batched = dict(batch_size=8, batch_timeout_ms=2.0)
     return [
         registry.get("byz-equivocation").with_overrides(**batched),
@@ -34,21 +44,44 @@ def _batch_checks():
     ]
 
 
+def _xbatch_checks() -> List[Scenario]:
+    grouped = dict(xdomain_batch_size=8, xdomain_batch_timeout_ms=5.0)
+    return [
+        registry.get("xbatch-sweep-g008").with_overrides(
+            num_transactions=48, num_clients=12
+        ),
+        registry.get("byz-partition-flap").with_overrides(**grouped),
+    ]
+
+
+#: mode name -> scenario list factory (the whole dispatch table).
+MODES: Dict[str, Callable[[], List[Scenario]]] = {
+    "default": _default_checks,
+    "batch": _batch_checks,
+    "xbatch": _xbatch_checks,
+}
+
+
 def main(mode: str = "default") -> int:
-    if mode not in ("default", "batch"):
-        print(f"unknown smoke mode {mode!r}; known: default, batch", file=sys.stderr)
+    checks_factory = MODES.get(mode)
+    if checks_factory is None:
+        known = ", ".join(sorted(MODES))
+        print(f"unknown smoke mode {mode!r}; known: {known}", file=sys.stderr)
         return 2
     runner = ScenarioRunner(check_invariants=True)
-    checks = _batch_checks() if mode == "batch" else _default_checks()
-    for scenario in checks:
+    for scenario in checks_factory():
         run = runner.execute(scenario)
         assert run.summary is not None
         trace = run.trace
-        batched = f" batch_size={scenario.batch_size}" if scenario.batch_size > 1 else ""
+        knobs = ""
+        if scenario.batch_size > 1:
+            knobs += f" batch_size={scenario.batch_size}"
+        if scenario.xdomain_batch_size > 1:
+            knobs += f" xdomain_batch_size={scenario.xdomain_batch_size}"
         print(
             f"{scenario.name}: committed={run.summary.committed} "
             f"aborted={run.summary.aborted} pending={run.summary.pending} "
-            f"trace_events={len(trace) if trace is not None else 0}{batched}"
+            f"trace_events={len(trace) if trace is not None else 0}{knobs}"
             " — invariants ok"
         )
     return 0

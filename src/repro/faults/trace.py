@@ -178,6 +178,41 @@ class TraceRecorder:
             counts[event.kind] = counts.get(event.kind, 0) + 1
         return counts
 
+    def group_exchanges(
+        self,
+    ) -> Dict[Tuple[Optional[str], Any], Dict[str, List[TraceEvent]]]:
+        """Events of every grouped 2PC exchange, keyed by (coordinator, gid).
+
+        A grouped cross-domain exchange leaves four coordinator-side event
+        kinds on the trace — ``handoff:group-prepare`` (membership and
+        participant set), ``handoff:group-vote`` (receipt of one participant's
+        aggregated prepared votes), ``handoff:group-commit`` (the per-member
+        commit outcomes), and ``handoff:group-abort`` (per-member aborts,
+        retried or final).  This groups them per exchange, each bucket in
+        trace order, which is the evidence the group-atomicity invariant (and
+        tests) replay.
+        """
+        kind_map = {
+            "handoff:group-prepare": "prepare",
+            "handoff:group-vote": "vote",
+            "handoff:group-commit": "commit",
+            "handoff:group-abort": "abort",
+        }
+        exchanges: Dict[Tuple[Optional[str], Any], Dict[str, List[TraceEvent]]] = {}
+        for event in self._events:
+            bucket_name = kind_map.get(event.kind)
+            if bucket_name is None:
+                continue
+            gid = event.get("gid")
+            if gid is None:
+                continue
+            bucket = exchanges.setdefault(
+                (event.domain, gid),
+                {"prepare": [], "vote": [], "commit": [], "abort": []},
+            )
+            bucket[bucket_name].append(event)
+        return exchanges
+
     # ------------------------------------------------------------------ serialisation
 
     def to_dict(self) -> Dict[str, Any]:

@@ -37,7 +37,13 @@ class StateStore:
         self._name = name
         self._data: Dict[str, Any] = {}
         self._version = 0
+        #: The write log doubles as the version-sorted index: versions are
+        #: assigned sequentially, so the record of version ``v`` sits at
+        #: ``_log[v - 1]`` and any version range is a contiguous slice.
         self._log: List[WriteRecord] = []
+        #: Latest version that wrote each key, so delta extraction touches
+        #: each changed key once instead of scanning the whole log.
+        self._latest_version: Dict[str, int] = {}
 
     # -- generic key-value interface --------------------------------------------
 
@@ -73,6 +79,7 @@ class StateStore:
         self._version += 1
         self._data[key] = value
         self._log.append(WriteRecord(version=self._version, key=key, value=value))
+        self._latest_version[key] = self._version
         return self._version
 
     def increment(self, key: str, amount: float = 1) -> Any:
@@ -134,14 +141,21 @@ class StateStore:
     # -- versions, deltas, snapshots -----------------------------------------------
 
     def delta_since(self, version: int) -> Dict[str, Any]:
-        """Latest value of every key written after ``version``."""
+        """Latest value of every key written after ``version``.
+
+        Versions are sequential, so the records after ``version`` are the
+        contiguous slice ``_log[version:]`` — extraction is proportional to
+        the writes since ``version``, never to the whole log.  The per-key
+        latest-version map skips superseded writes so each changed key is
+        materialised exactly once.
+        """
         if version < 0 or version > self._version:
             raise StateError(
                 f"{self._name}: version {version} outside [0, {self._version}]"
             )
         delta: Dict[str, Any] = {}
-        for record in self._log:
-            if record.version > version:
+        for record in self._log[version:]:
+            if self._latest_version[record.key] == record.version:
                 delta[record.key] = record.value
         return delta
 
@@ -172,7 +186,11 @@ class StateStore:
         )
 
     def write_log(self, since_version: int = 0) -> Tuple[WriteRecord, ...]:
-        return tuple(r for r in self._log if r.version > since_version)
+        """Records written after ``since_version`` (a direct slice: versions
+        are sequential, so no scan of the earlier log is needed)."""
+        if since_version < 0:
+            return tuple(self._log)
+        return tuple(self._log[since_version:])
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"StateStore({self._name}, keys={len(self._data)}, v={self._version})"

@@ -128,6 +128,15 @@ class ScenarioBuilder:
             self._fields["batch_timeout_ms"] = batch_timeout_ms
         return self
 
+    def xdomain_batching(
+        self, xdomain_batch_size: int, xdomain_batch_timeout_ms: Optional[float] = None
+    ) -> "ScenarioBuilder":
+        """Configure grouped cross-domain 2PC (``xdomain_batch_size=1`` disables)."""
+        self._fields["xdomain_batch_size"] = xdomain_batch_size
+        if xdomain_batch_timeout_ms is not None:
+            self._fields["xdomain_batch_timeout_ms"] = xdomain_batch_timeout_ms
+        return self
+
     def limits(
         self,
         max_simulated_ms: Optional[float] = None,

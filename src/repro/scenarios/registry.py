@@ -333,6 +333,45 @@ def _register_batch_sweep() -> None:
 
 _register_batch_sweep()
 
+
+# ---------------------------------------------------------------------------
+# Cross-domain batching sweep (the fig_xbatch scenario family)
+# ---------------------------------------------------------------------------
+
+#: Cross-domain group sizes the fig_xbatch benchmark sweeps.
+XBATCH_SWEEP_SIZES: Tuple[int, ...] = (1, 8, 32)
+
+
+def _register_xbatch_sweep() -> None:
+    """The grouped-2PC throughput sweep: fig10's wide-area topology saturated
+    with cross-domain traffic.
+
+    Derived from the fig10(a) base (CFT domains over the seven-region
+    wide-area placement) at 100% cross-domain ratio under enough closed-loop
+    clients that the per-transaction prepare/commit exchanges queue at the
+    coordinating domains — the regime where one-exchange-per-transaction 2PC
+    is message-bound over WAN latencies and grouping pays.  One scenario per
+    swept ``xdomain_batch_size``; ``xbatch-sweep`` aliases the ungrouped base.
+    """
+    base = get("fig10a").with_overrides(
+        name="xbatch-sweep",
+        cross_domain_ratio=1.0,
+        num_clients=1600,
+        num_transactions=3200,
+        xdomain_batch_timeout_ms=10.0,
+    )
+    register("xbatch-sweep", base)
+    for size in XBATCH_SWEEP_SIZES:
+        register(
+            f"xbatch-sweep-g{size:03d}",
+            base.with_overrides(
+                name=f"xbatch-sweep-g{size:03d}", xdomain_batch_size=size
+            ),
+        )
+
+
+_register_xbatch_sweep()
+
 #: The figure names the registry guarantees (tested for completeness).
 PAPER_FIGURES: Tuple[str, ...] = (
     "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",

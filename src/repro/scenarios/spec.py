@@ -422,6 +422,8 @@ class Scenario:
     drain_ms: Optional[float] = None
     batch_size: int = 1
     batch_timeout_ms: float = 5.0
+    xdomain_batch_size: int = 1
+    xdomain_batch_timeout_ms: float = 10.0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "seeds", tuple(_as_tuple(self.seeds)))
@@ -473,6 +475,14 @@ class Scenario:
             raise ConfigurationError("batch_size must be >= 1")
         if self.batch_timeout_ms <= 0:
             raise ConfigurationError("batch_timeout_ms must be positive")
+        if not isinstance(self.xdomain_batch_size, int) or isinstance(
+            self.xdomain_batch_size, bool
+        ):
+            raise ConfigurationError("xdomain_batch_size must be an integer")
+        if self.xdomain_batch_size < 1:
+            raise ConfigurationError("xdomain_batch_size must be >= 1")
+        if self.xdomain_batch_timeout_ms <= 0:
+            raise ConfigurationError("xdomain_batch_timeout_ms must be positive")
 
     # ------------------------------------------------------------------ building blocks
 
@@ -503,6 +513,8 @@ class Scenario:
             seed=seed,
             batch_size=self.batch_size,
             batch_timeout_ms=self.batch_timeout_ms,
+            xdomain_batch_size=self.xdomain_batch_size,
+            xdomain_batch_timeout_ms=self.xdomain_batch_timeout_ms,
         )
 
     def build_hierarchy(self):
@@ -608,6 +620,8 @@ class Scenario:
             "drain_ms": self.drain_ms,
             "batch_size": self.batch_size,
             "batch_timeout_ms": self.batch_timeout_ms,
+            "xdomain_batch_size": self.xdomain_batch_size,
+            "xdomain_batch_timeout_ms": self.xdomain_batch_timeout_ms,
         }
 
     @classmethod
@@ -655,6 +669,11 @@ class Scenario:
             lines.append(
                 f"  batching: size={self.batch_size}, "
                 f"timeout={self.batch_timeout_ms:g}ms"
+            )
+        if self.xdomain_batch_size > 1:
+            lines.append(
+                f"  xdomain batching: size={self.xdomain_batch_size}, "
+                f"timeout={self.xdomain_batch_timeout_ms:g}ms"
             )
         if self.fault_schedule:
             rendered = ", ".join(

@@ -146,3 +146,55 @@ class TestDeltasAndSnapshots:
         state.put("b", 2)
         log = state.write_log(mark)
         assert [record.key for record in log] == ["b"]
+
+
+class TestDeltaIndexPinning:
+    """The indexed delta/write-log fast paths return exactly what the naive
+    full-log scan returned before the per-key latest-version index landed."""
+
+    @staticmethod
+    def _naive_delta(state, version):
+        delta = {}
+        for record in state._log:
+            if record.version > version:
+                delta[record.key] = record.value
+        return delta
+
+    @staticmethod
+    def _churned_store():
+        import random
+
+        rng = random.Random(42)
+        state = StateStore("pinning")
+        keys = [f"k{i}" for i in range(17)]
+        snapshot = None
+        for step in range(400):
+            action = rng.random()
+            if action < 0.80:
+                state.put(rng.choice(keys), rng.randrange(1000))
+            elif action < 0.90 or snapshot is None:
+                snapshot = state.snapshot()
+            else:
+                state.restore(snapshot)
+        return state
+
+    def test_deltas_match_the_naive_full_log_scan(self):
+        state = self._churned_store()
+        for version in (0, 1, 7, 100, 399, state.version - 1, state.version):
+            assert state.delta_since(version) == self._naive_delta(state, version)
+
+    def test_write_log_matches_the_naive_filter(self):
+        state = self._churned_store()
+        for since in (-3, 0, 1, 100, state.version):
+            expected = tuple(r for r in state._log if r.version > since)
+            assert state.write_log(since) == expected
+
+    def test_delta_extraction_is_proportional_to_the_suffix(self):
+        state = StateStore("hot")
+        for i in range(5_000):
+            state.put(f"k{i % 50}", i)
+        mark = state.version
+        state.put("fresh", 1)
+        # The slice after `mark` holds one record; the naive scan walked 5001.
+        assert state.delta_since(mark) == {"fresh": 1}
+        assert len(state.write_log(mark)) == 1
