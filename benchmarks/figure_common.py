@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import json
 import os
+import re
+import subprocess
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -39,6 +41,8 @@ __all__ = [
     "scalability_figure",
     "batch_figure",
     "xbatch_figure",
+    "shard_figure",
+    "derive_history_label",
     "wide_area_saturated_point",
     "run_once",
     "record_bench",
@@ -63,10 +67,41 @@ BENCH_RESULTS_PATH = os.path.abspath(
     os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_results.json")
 )
 
-#: The committed file's ``history`` entry this session writes into (one entry
-#: per PR: figure -> tps/latency/events_per_sec).  Bump once per PR so the
-#: trajectory grows one point per PR instead of overwriting the last.
-BENCH_HISTORY_LABEL = "PR4"
+
+def derive_history_label(path: Optional[str] = None) -> str:
+    """The ``history`` label of the PR in flight, derived instead of hand-set.
+
+    Every landed PR's commit subject starts ``"PR <n>:"``, so the work on top
+    of the latest commit is PR ``max(n) + 1`` — stable across re-runs within
+    one session (re-runs replace their own history entry) and automatically
+    one step ahead of the committed trajectory.  Without a usable git history
+    the committed ``history`` labels themselves are the fallback; a bare
+    checkout starts at ``"PR1"``.
+    """
+    numbers: List[int] = []
+    try:
+        proc = subprocess.run(
+            ["git", "log", "--pretty=%s"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            check=False,
+        )
+        if proc.returncode == 0:
+            numbers = [
+                int(match.group(1))
+                for match in re.finditer(r"^PR\s*(\d+)\s*:", proc.stdout, re.M)
+            ]
+    except (OSError, subprocess.SubprocessError):
+        numbers = []
+    if not numbers:
+        for entry in load_bench_history(path):
+            match = re.fullmatch(r"PR\s*(\d+)", str(entry.get("label", "")))
+            if match:
+                numbers.append(int(match.group(1)))
+    return f"PR{max(numbers) + 1}" if numbers else "PR1"
+
 
 _BENCH_RECORDS: List[Dict[str, Any]] = []
 
@@ -130,6 +165,28 @@ def load_bench_history(path: Optional[str] = None) -> List[Dict[str, Any]]:
     return [entry for entry in history if isinstance(entry, dict)]
 
 
+_derived_label: Optional[str] = None
+
+
+def bench_history_label() -> str:
+    """:func:`derive_history_label`, derived lazily once per process."""
+    global _derived_label
+    if _derived_label is None:
+        _derived_label = derive_history_label()
+    return _derived_label
+
+
+def __getattr__(name: str) -> Any:
+    # PEP 562: ``BENCH_HISTORY_LABEL`` — the committed file's ``history``
+    # entry this session writes into (one entry per PR: figure ->
+    # tps/latency/events_per_sec) — stays importable as a module constant,
+    # but the git subprocess deriving it only runs on first use, never at
+    # import time.
+    if name == "BENCH_HISTORY_LABEL":
+        return bench_history_label()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 def _report_bench_deltas(
     baseline: Dict[str, Dict[str, Any]], records: List[Dict[str, Any]]
 ) -> None:
@@ -167,7 +224,7 @@ def _report_bench_history(
     """Print the trend over the whole committed trajectory, not just the
     last-vs-current delta: one line per re-run figure, one point per PR."""
     past = [
-        entry for entry in history if entry.get("label") != BENCH_HISTORY_LABEL
+        entry for entry in history if entry.get("label") != bench_history_label()
     ]
     if not past:
         return
@@ -182,7 +239,7 @@ def _report_bench_history(
                     f"{figures[figure].get('throughput_tps', 0.0):.1f} "
                     f"({snapshot.get('label', '?')})"
                 )
-        points.append(f"{entry['throughput_tps']:.1f} ({BENCH_HISTORY_LABEL})")
+        points.append(f"{entry['throughput_tps']:.1f} ({bench_history_label()})")
         print(f"  {figure:24s} " + " -> ".join(points))
 
 
@@ -213,7 +270,7 @@ def write_bench_results(path: Optional[str] = None) -> Optional[str]:
     merged.update({entry["figure"]: entry for entry in records})
     current_figures: Dict[str, Dict[str, Any]] = {}
     for entry in history:
-        if entry.get("label") == BENCH_HISTORY_LABEL:
+        if entry.get("label") == bench_history_label():
             current_figures = dict(entry.get("figures", {}))
     current_figures.update(
         {
@@ -224,9 +281,9 @@ def write_bench_results(path: Optional[str] = None) -> Optional[str]:
         }
     )
     history = [
-        entry for entry in history if entry.get("label") != BENCH_HISTORY_LABEL
+        entry for entry in history if entry.get("label") != bench_history_label()
     ]
-    history.append({"label": BENCH_HISTORY_LABEL, "figures": current_figures})
+    history.append({"label": bench_history_label(), "figures": current_figures})
     payload = {
         "results": [merged[figure] for figure in sorted(merged)],
         "history": history,
@@ -447,6 +504,46 @@ def batch_figure(
         )
         print(
             f"batch={size:3d}  ->  {run.summary.throughput_tps:9.1f} tps  "
+            f"{run.summary.avg_latency_ms:7.2f} ms avg  "
+            f"{run.summary.p95_latency_ms:8.2f} ms p95"
+        )
+    return results
+
+
+def shard_figure(
+    title: str,
+    shard_counts: Optional[Sequence[int]] = None,
+    figure: str = "fig_shard",
+) -> Dict[int, PerformanceSummary]:
+    """The sharded-execution sweep (fig_shard): throughput across shard counts.
+
+    Sweeps the registered ``shard-sweep`` scenario family — the batched
+    fig13 topology under saturating load with ``execution_lanes=16`` armed,
+    so per-batch state execution is what nodes spend their time on — over
+    ``state_shards``.  Same workload, same load, same lanes; only the shard
+    count moves, so the sweep isolates how much sharded state lets execution
+    overlap instead of hiding behind ordering.
+    """
+    counts = tuple(
+        shard_counts if shard_counts is not None else registry.SHARD_SWEEP_SIZES
+    )
+    results: Dict[int, PerformanceSummary] = {}
+    print()
+    print(title)
+    print("-" * len(title))
+    for shards in counts:
+        scenario = registry.get(f"shard-sweep-s{shards:03d}")
+        run, events_per_sec = _timed_checked_run(scenario)
+        assert run.summary is not None
+        results[shards] = run.summary
+        record_bench(
+            f"{figure}/s{shards:03d}",
+            throughput_tps=run.summary.throughput_tps,
+            avg_latency_ms=run.summary.avg_latency_ms,
+            events_per_sec=events_per_sec,
+        )
+        print(
+            f"shards={shards:3d}  ->  {run.summary.throughput_tps:9.1f} tps  "
             f"{run.summary.avg_latency_ms:7.2f} ms avg  "
             f"{run.summary.p95_latency_ms:8.2f} ms p95"
         )

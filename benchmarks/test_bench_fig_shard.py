@@ -1,0 +1,36 @@
+"""fig_shard: throughput scaling of sharded state & parallel execution lanes.
+
+Sweeps the ``shard-sweep`` scenario family — the batched fig13 topology
+(Byzantine domains, LAN profile, |p| = 7) under saturating closed-loop load
+with ``execution_lanes=16`` armed — across ``state_shards`` {1, 4, 16}.
+Batching (PR 3/4) amortised the ordering messages, so applying a decided
+batch is now where nodes spend their time: with a single shard every
+transaction's state accesses serialise on one lane, while sharding spreads
+the footprints so disjoint lanes execute concurrently.  The acceptance gate
+for the sharding tentpole lives here: the best shard count must carry at
+least 1.5x the single-shard throughput, with every run invariant-checked.
+"""
+
+from figure_common import shard_figure
+
+
+def test_figure_shard_throughput_scales(benchmark):
+    def run():
+        return shard_figure(
+            title="fig_shard: sharded execution lanes (fig13 topology, |p| = 7)",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    serial = results[1].throughput_tps
+    best = max(summary.throughput_tps for summary in results.values())
+    assert serial > 0
+    # The tentpole acceptance: sharding must buy at least 1.5x throughput.
+    assert best >= 1.5 * serial, (
+        f"best shard count reached only {best:.1f} tps vs "
+        f"{serial:.1f} tps single-shard ({best / serial:.2f}x < 1.5x)"
+    )
+    # Parallel lanes drain execution faster, so latency must drop too.
+    assert results[16].avg_latency_ms < results[1].avg_latency_ms
+    for summary in results.values():
+        assert summary.pending == 0
+        assert summary.aborted == 0

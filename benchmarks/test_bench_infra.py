@@ -115,3 +115,49 @@ def test_report_bench_history_prints_the_trend(tmp_path, monkeypatch, capsys):
 
 def test_load_bench_history_handles_missing_file(tmp_path):
     assert figure_common.load_bench_history(str(tmp_path / "missing.json")) == []
+
+
+def test_history_label_is_derived_and_ahead_of_committed_history():
+    """The label comes from git (or the driver), never from a hand-edit.
+
+    It must be non-empty and distinct from the last history entry *committed
+    at git HEAD* (the previous PR's trajectory point), otherwise this PR's
+    benchmark session would overwrite it instead of appending its own.  The
+    working-tree file is deliberately NOT the reference: once this PR's own
+    benchmarks ran, its history already ends with this PR's entry, which the
+    label must keep matching so re-runs replace rather than duplicate it.
+    """
+    import os
+    import subprocess
+
+    label = figure_common.BENCH_HISTORY_LABEL
+    assert label
+    assert label == figure_common.derive_history_label()  # stable within a PR
+    proc = subprocess.run(
+        ["git", "show", "HEAD:BENCH_results.json"],
+        capture_output=True,
+        text=True,
+        timeout=10,
+        cwd=os.path.dirname(os.path.abspath(__file__)),
+        check=False,
+    )
+    if proc.returncode == 0:  # absent in bare (non-git) checkouts
+        history = json.loads(proc.stdout).get("history", [])
+        if history:
+            assert label != history[-1].get("label")
+
+
+def test_history_label_falls_back_to_committed_history(tmp_path, monkeypatch):
+    """Without a git history the committed labels still advance the counter."""
+    target = tmp_path / "BENCH_results.json"
+    target.write_text(
+        json.dumps({"results": [], "history": [{"label": "PR7", "figures": {}}]})
+    )
+
+    def no_git(*args, **kwargs):
+        raise OSError("git unavailable")
+
+    monkeypatch.setattr(figure_common.subprocess, "run", no_git)
+    assert figure_common.derive_history_label(str(target)) == "PR8"
+    missing = tmp_path / "missing.json"
+    assert figure_common.derive_history_label(str(missing)) == "PR1"

@@ -465,25 +465,36 @@ class ConsensusEngine(abc.ABC):
         so components that order by sequence (e.g. the cross-domain commit
         guard) keep strict ordering between entries of the same batch.
         """
-        if isinstance(payload, Batch):
-            if self._tracing_enabled():
-                # Guarded here (not just inside _trace): building the
-                # entry-id/tid lists walks every entry, which is wasted work
-                # per decided batch per replica when tracing is off.
-                self._trace(
-                    "batch-decide",
-                    slot=slot,
-                    payload_digest=payload.canonical_bytes(),
-                    size=len(payload),
-                    entry_ids=list(payload.entry_ids),
-                    tids=list(payload.transaction_ids()),
-                )
-            for entry in payload.entries:
+        # Execution-lane window: everything the host executes while this
+        # decision unpacks is charged as ONE spanned unit — lanes with
+        # disjoint shard footprints overlap instead of serialising.  Hosts
+        # without lane modelling (execution_lanes=1, bare test hosts) open
+        # nothing and the delivery path is unchanged.
+        begin = getattr(self._host, "begin_execution_window", None)
+        opened = begin() if begin is not None else False
+        try:
+            if isinstance(payload, Batch):
+                if self._tracing_enabled():
+                    # Guarded here (not just inside _trace): building the
+                    # entry-id/tid lists walks every entry, which is wasted work
+                    # per decided batch per replica when tracing is off.
+                    self._trace(
+                        "batch-decide",
+                        slot=slot,
+                        payload_digest=payload.canonical_bytes(),
+                        size=len(payload),
+                        entry_ids=list(payload.entry_ids),
+                        tids=list(payload.transaction_ids()),
+                    )
+                for entry in payload.entries:
+                    self._delivery_seq += 1
+                    self._host.consensus_decided(self._delivery_seq, entry)
+            else:
                 self._delivery_seq += 1
-                self._host.consensus_decided(self._delivery_seq, entry)
-        else:
-            self._delivery_seq += 1
-            self._host.consensus_decided(self._delivery_seq, payload)
+                self._host.consensus_decided(self._delivery_seq, payload)
+        finally:
+            if opened:
+                self._host.close_execution_window()
 
     def is_decided(self, slot: int) -> bool:
         return self._log.is_decided(slot)

@@ -30,7 +30,7 @@ from repro.ledger.dag import DagLedger
 from repro.ledger.abstraction import SummarizedView
 from repro.ledger.state import StateStore
 from repro.ledger.transaction import CommittedEntry, Transaction
-from repro.sim.cpu import CpuQueue
+from repro.sim.cpu import CpuQueue, ExecutionLanes
 from repro.sim.network import Envelope, Network
 from repro.sim.simulator import Simulator, Timer
 from repro.topology.domain import Domain
@@ -109,6 +109,10 @@ class SaguaroNode:
         self.adversary = AdversaryControls()
 
         self.cpu = CpuQueue()
+        #: Parallel-execution budget: decided work is split by account-shard
+        #: footprint and disjoint lanes overlap (inert at execution_lanes=1).
+        self.lanes = ExecutionLanes(config.execution_lanes)
+        self._lane_costs: Optional[Dict[int, float]] = None
         self.costs = config.costs_for(domain.failure_model)
         self.signer = Signer(keystore, self.address)
         self.engine: ConsensusEngine = engine_for(self)
@@ -119,7 +123,7 @@ class SaguaroNode:
         self.summary: Optional[SummarizedView] = None
         if domain.height == 1:
             self.ledger = LinearLedger(domain.id)
-            self.state = StateStore(name=self.address)
+            self.state = StateStore(name=self.address, shards=config.state_shards)
             application.initialize_domain(domain, self.state)
         else:
             self.dag = DagLedger(domain.id)
@@ -357,10 +361,72 @@ class SaguaroNode:
         if transaction.tid in self._executed:
             return None
         self._executed.add(transaction.tid)
-        return self.application.execute(transaction, self.state, self._domain.id)
+        result = self.application.execute(transaction, self.state, self._domain.id)
+        self._charge_execution(transaction)
+        return result
 
     def has_executed(self, tid: TransactionId) -> bool:
         return tid in self._executed
+
+    # ------------------------------------------------------------------ execution lanes
+
+    def _charge_execution(self, transaction: Transaction) -> None:
+        """Account one executed transaction against the node's execution lanes.
+
+        The transaction's declared keys give its shard footprint; each
+        shard's share (``execute_ms`` per declared access to a key living
+        there) lands on that shard's lane.  Inside an open execution window
+        (a decided batch being
+        unpacked) shares accumulate and are charged as one spanned unit when
+        the window closes; outside a window (e.g. a cross-domain commit
+        applying on message receipt) the transaction is charged immediately.
+        Inert at ``execution_lanes=1`` — execution stays free, bit-identical
+        to the pre-lane model.
+        """
+        if not self.lanes.enabled or self.state is None:
+            return
+        # Every declared access pays: reads validate, writes apply.  Charges
+        # land on the lane of the key's shard, so a transaction's execution
+        # cost is split across (only) the lanes its footprint names.
+        accesses = tuple(transaction.read_keys) + tuple(transaction.write_keys)
+        per_lane: Dict[int, float] = {}
+        if accesses:
+            for key in accesses:
+                lane = self.lanes.lane_of(self.state.shard_of(key))
+                per_lane[lane] = per_lane.get(lane, 0.0) + self.costs.execute_ms
+        else:
+            per_lane[0] = self.costs.execute_ms
+        # Executing a request also verifies its client signature — work the
+        # ordering path never charged (it verifies the batch digest, not the
+        # per-request signatures).  It rides the transaction's first lane.
+        first_lane = min(per_lane)
+        per_lane[first_lane] += self.costs.verify_ms
+        if self._lane_costs is not None:
+            for lane, cost in per_lane.items():
+                self._lane_costs[lane] = self._lane_costs.get(lane, 0.0) + cost
+        else:
+            self._submit_execution_span(per_lane)
+
+    def _submit_execution_span(self, lane_costs: Dict[int, float]) -> None:
+        span = self.lanes.span_of(lane_costs)
+        if span > 0:
+            # Execution occupies the node: later message handling queues
+            # behind it, which is what makes execution cost visible in
+            # throughput once ordering stops being the bottleneck.
+            self.cpu.submit(self.simulator.now, span)
+
+    def begin_execution_window(self) -> bool:
+        """Open a per-batch lane accumulator; returns whether one was opened."""
+        if not self.lanes.enabled or self._lane_costs is not None:
+            return False
+        self._lane_costs = {}
+        return True
+
+    def close_execution_window(self) -> None:
+        """Charge everything executed since :meth:`begin_execution_window`."""
+        costs, self._lane_costs = self._lane_costs, None
+        if costs:
+            self._submit_execution_span(costs)
 
     # ------------------------------------------------------------------ metrics helpers
 

@@ -55,10 +55,13 @@ class OptimisticCrossDomainProtocol(ProtocolComponent):
 
     def __init__(self, node: SaguaroNode) -> None:
         super().__init__(node)
-        # Height-1 state.
+        # Height-1 state.  Taints are indexed by account shard so dependency
+        # lookups and undo cleanup touch only the shards a transaction names
+        # instead of scanning whole-domain taint state.
         self._pending: Dict[TransactionId, _PendingOptimistic] = {}
         self._dependents: Dict[TransactionId, _TrackedDependent] = {}
-        self._tainted_keys: Dict[str, Set[TransactionId]] = {}
+        self._tainted_by_shard: Dict[int, Dict[str, Set[TransactionId]]] = {}
+        self._root_shards: Dict[TransactionId, Set[int]] = {}
         self._proposed: Set[TransactionId] = set()
         self._client_of: Dict[TransactionId, str] = {}
         self._append_order: List[TransactionId] = []
@@ -202,7 +205,10 @@ class OptimisticCrossDomainProtocol(ProtocolComponent):
         touched = set(transaction.read_keys) | set(transaction.write_keys)
         roots: Set[TransactionId] = set()
         for key in touched:
-            roots.update(self._tainted_keys.get(key, set()))
+            # Only the key's own shard can hold its taints.
+            bucket = self._tainted_by_shard.get(self._shard_of(key))
+            if bucket:
+                roots.update(bucket.get(key, set()))
         roots.discard(tid)
         if not roots:
             return
@@ -220,19 +226,39 @@ class OptimisticCrossDomainProtocol(ProtocolComponent):
         # The dependent's own writes become tainted by the same roots
         # (indirect dependencies, §6).
         for key in transaction.write_keys:
-            self._tainted_keys.setdefault(key, set()).update(roots)
+            shard = self._shard_of(key)
+            self._tainted_by_shard.setdefault(shard, {}).setdefault(
+                key, set()
+            ).update(roots)
+            for root in roots:
+                self._root_shards.setdefault(root, set()).add(shard)
         self._publish_dependency_lists()
+
+    def _shard_of(self, key: str) -> int:
+        state = self.node.state
+        return state.shard_of(key) if state is not None else 0
 
     def _taint_keys(self, keys: Tuple[str, ...], root: TransactionId) -> None:
         for key in keys:
-            self._tainted_keys.setdefault(key, set()).add(root)
+            shard = self._shard_of(key)
+            self._tainted_by_shard.setdefault(shard, {}).setdefault(
+                key, set()
+            ).add(root)
+            self._root_shards.setdefault(root, set()).add(shard)
 
     def _untaint_root(self, root: TransactionId) -> None:
-        for key in list(self._tainted_keys):
-            owners = self._tainted_keys[key]
-            owners.discard(root)
-            if not owners:
-                del self._tainted_keys[key]
+        # Undo cleanup crosses only the shards this root ever tainted.
+        for shard in sorted(self._root_shards.pop(root, ())):
+            bucket = self._tainted_by_shard.get(shard)
+            if bucket is None:
+                continue
+            for key in list(bucket):
+                owners = bucket[key]
+                owners.discard(root)
+                if not owners:
+                    del bucket[key]
+            if not bucket:
+                del self._tainted_by_shard[shard]
 
     def _publish_dependency_lists(self) -> None:
         self.node.shared[SHARED_DEPENDENCIES] = {

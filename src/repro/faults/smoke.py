@@ -19,6 +19,12 @@ Modes (the dispatch is table-driven; add a mode by adding one entry):
     wide-area topology, plus a hostile partition-flap run with grouping on —
     proving cross-domain atomicity and the group-atomicity invariant hold
     when 2PC exchanges are batched.
+``shard``
+    Sharded state stores with parallel execution lanes armed
+    (``state_shards > 1, execution_lanes > 1``): a batched figure run and a
+    hostile equivocation run — proving safety (and the ledger-level
+    consistency invariants) survive when execution is split across shard
+    lanes.
 """
 
 from __future__ import annotations
@@ -54,11 +60,24 @@ def _xbatch_checks() -> List[Scenario]:
     ]
 
 
+def _shard_checks() -> List[Scenario]:
+    sharded = dict(
+        state_shards=8, execution_lanes=8, batch_size=8, batch_timeout_ms=2.0
+    )
+    return [
+        registry.get("fig07a").with_overrides(
+            num_transactions=48, num_clients=8, **sharded
+        ),
+        registry.get("byz-equivocation").with_overrides(**sharded),
+    ]
+
+
 #: mode name -> scenario list factory (the whole dispatch table).
 MODES: Dict[str, Callable[[], List[Scenario]]] = {
     "default": _default_checks,
     "batch": _batch_checks,
     "xbatch": _xbatch_checks,
+    "shard": _shard_checks,
 }
 
 
@@ -78,6 +97,11 @@ def main(mode: str = "default") -> int:
             knobs += f" batch_size={scenario.batch_size}"
         if scenario.xdomain_batch_size > 1:
             knobs += f" xdomain_batch_size={scenario.xdomain_batch_size}"
+        if scenario.state_shards > 1 or scenario.execution_lanes > 1:
+            knobs += (
+                f" state_shards={scenario.state_shards}"
+                f" execution_lanes={scenario.execution_lanes}"
+            )
         print(
             f"{scenario.name}: committed={run.summary.committed} "
             f"aborted={run.summary.aborted} pending={run.summary.pending} "

@@ -5,20 +5,31 @@ Height-1 domains hold the full application state for their locality; height-2
 and above domains hold only a *summarized* view produced by the abstraction
 function λ (§5), managed by :mod:`repro.ledger.abstraction`.
 
-The store is a simple versioned key-value map.  Every write bumps a global
-version and is recorded in a write log so that deltas between versions — the
-``D_rn − D_rn−1`` the paper feeds to λ at the end of each round — can be
-extracted cheaply.
+The store is a versioned key-value map whose *versioned bookkeeping* is
+**sharded**: keys map to one of ``shards`` account shards by a stable hash,
+and each shard keeps its own write log and per-key latest-version map.  The
+key-value content itself stays one map (reads are O(1) and key iteration
+order is shard-count independent), but everything that used to scan
+whole-domain write history — delta extraction, conflicting-key detection,
+the optimistic protocol's undo machinery — can now restrict itself to the
+shards a transaction actually names via the ``shards=`` arguments.
+
+Versions are global and sequential, so ``delta_since`` / ``write_log`` merge
+the per-shard logs back into the exact version order an unsharded store would
+produce: ``shards=1`` is bit-identical to the historical single-log store.
 """
 
 from __future__ import annotations
 
+import zlib
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+from heapq import merge as _heap_merge
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import InsufficientBalanceError, StateError, UnknownAccountError
 
-__all__ = ["StateStore", "WriteRecord"]
+__all__ = ["StateStore", "WriteRecord", "shard_of_key"]
 
 
 @dataclass(frozen=True)
@@ -30,19 +41,46 @@ class WriteRecord:
     value: Any
 
 
-class StateStore:
-    """A versioned key-value store with numeric-balance helpers."""
+def shard_of_key(key: str, shards: int) -> int:
+    """Stable key→shard mapping (CRC32, so identical across processes/runs)."""
+    if shards <= 1:
+        return 0
+    return zlib.crc32(key.encode("utf-8")) % shards
 
-    def __init__(self, name: str = "state") -> None:
+
+class _Shard:
+    """One account shard's versioned bookkeeping.
+
+    ``versions`` mirrors ``log`` (version of the record at the same index) so
+    range extraction can bisect without touching the records themselves.
+    """
+
+    __slots__ = ("log", "versions", "latest_version")
+
+    def __init__(self) -> None:
+        self.log: List[WriteRecord] = []
+        self.versions: List[int] = []
+        self.latest_version: Dict[str, int] = {}
+
+    def records_after(self, version: int) -> List[WriteRecord]:
+        """The shard's records with version > ``version`` (a direct slice:
+        each shard's log is version-sorted, so no scan of earlier writes)."""
+        return self.log[bisect_right(self.versions, version):]
+
+
+class StateStore:
+    """A sharded, versioned key-value store with numeric-balance helpers."""
+
+    def __init__(self, name: str = "state", shards: int = 1) -> None:
+        if shards < 1:
+            raise StateError(f"{name}: shards must be >= 1, got {shards}")
         self._name = name
         self._data: Dict[str, Any] = {}
         self._version = 0
-        #: The write log doubles as the version-sorted index: versions are
-        #: assigned sequentially, so the record of version ``v`` sits at
-        #: ``_log[v - 1]`` and any version range is a contiguous slice.
-        self._log: List[WriteRecord] = []
-        #: Latest version that wrote each key, so delta extraction touches
-        #: each changed key once instead of scanning the whole log.
+        self._shards: Tuple[_Shard, ...] = tuple(_Shard() for _ in range(shards))
+        #: Global per-key latest-version map (versions are global, so one map
+        #: serves every shard): delta extraction filters superseded writes
+        #: without re-hashing each merged record back to its shard.
         self._latest_version: Dict[str, int] = {}
 
     # -- generic key-value interface --------------------------------------------
@@ -55,6 +93,35 @@ class StateStore:
     def version(self) -> int:
         """Monotonic counter incremented on every write."""
         return self._version
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, key: str) -> int:
+        """The shard ``key`` lives in (stable across runs and processes)."""
+        return shard_of_key(key, len(self._shards))
+
+    def shards_of(self, keys: Iterable[str]) -> Tuple[int, ...]:
+        """Sorted distinct shards the given keys live in (the *footprint*)."""
+        return tuple(sorted({self.shard_of(key) for key in keys}))
+
+    def keys_of_shard(self, shard: int) -> Tuple[str, ...]:
+        """Current keys living in ``shard`` (never-written keys cannot exist)."""
+        self._check_shard(shard)
+        return tuple(
+            key for key in self._shards[shard].latest_version if key in self._data
+        )
+
+    def shard_write_counts(self) -> Tuple[int, ...]:
+        """Write-log length per shard (sums to the global version counter)."""
+        return tuple(len(shard.log) for shard in self._shards)
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < len(self._shards):
+            raise StateError(
+                f"{self._name}: shard {shard} outside [0, {len(self._shards)})"
+            )
 
     def __contains__(self, key: str) -> bool:
         return key in self._data
@@ -78,7 +145,10 @@ class StateStore:
         """Write ``value`` under ``key``; returns the new store version."""
         self._version += 1
         self._data[key] = value
-        self._log.append(WriteRecord(version=self._version, key=key, value=value))
+        shard = self._shards[self.shard_of(key)]
+        shard.log.append(WriteRecord(version=self._version, key=key, value=value))
+        shard.versions.append(self._version)
+        shard.latest_version[key] = self._version
         self._latest_version[key] = self._version
         return self._version
 
@@ -140,21 +210,49 @@ class StateStore:
 
     # -- versions, deltas, snapshots -----------------------------------------------
 
-    def delta_since(self, version: int) -> Dict[str, Any]:
+    def _merged_records_after(
+        self, version: int, shards: Optional[Iterable[int]] = None
+    ) -> Iterator[WriteRecord]:
+        """Records with version > ``version``, in global version order.
+
+        Versions are globally sequential and each shard's log is sorted, so a
+        k-way merge of the per-shard slices reproduces exactly the record
+        order of a single whole-domain log.  With ``shards`` given, only the
+        named shards contribute — the slice a caller holding a transaction's
+        footprint needs.
+        """
+        if shards is None:
+            selected = self._shards
+        else:
+            indices = sorted({index for index in shards})
+            for index in indices:
+                self._check_shard(index)
+            selected = tuple(self._shards[index] for index in indices)
+        slices = [shard.records_after(version) for shard in selected]
+        slices = [part for part in slices if part]
+        if not slices:
+            return iter(())
+        if len(slices) == 1:
+            return iter(slices[0])
+        return _heap_merge(*slices, key=lambda record: record.version)
+
+    def delta_since(
+        self, version: int, shards: Optional[Iterable[int]] = None
+    ) -> Dict[str, Any]:
         """Latest value of every key written after ``version``.
 
-        Versions are sequential, so the records after ``version`` are the
-        contiguous slice ``_log[version:]`` — extraction is proportional to
-        the writes since ``version``, never to the whole log.  The per-key
-        latest-version map skips superseded writes so each changed key is
-        materialised exactly once.
+        Extraction is proportional to the writes since ``version`` in the
+        selected shards, never to the whole log: per-shard logs are
+        version-sorted slices and the per-key latest-version maps skip
+        superseded writes so each changed key is materialised exactly once.
+        With ``shards`` given, only keys living in those shards appear.
         """
         if version < 0 or version > self._version:
             raise StateError(
                 f"{self._name}: version {version} outside [0, {self._version}]"
             )
         delta: Dict[str, Any] = {}
-        for record in self._log[version:]:
+        for record in self._merged_records_after(version, shards):
             if self._latest_version[record.key] == record.version:
                 delta[record.key] = record.value
         return delta
@@ -185,12 +283,20 @@ class StateStore:
             if key.startswith(prefix) and isinstance(value, (int, float))
         )
 
-    def write_log(self, since_version: int = 0) -> Tuple[WriteRecord, ...]:
-        """Records written after ``since_version`` (a direct slice: versions
-        are sequential, so no scan of the earlier log is needed)."""
+    def write_log(
+        self, since_version: int = 0, shards: Optional[Iterable[int]] = None
+    ) -> Tuple[WriteRecord, ...]:
+        """Records written after ``since_version``, in version order.
+
+        Merged across the selected per-shard logs (all of them by default);
+        each shard contributes a direct bisected slice, so no scan of the
+        earlier log is needed."""
         if since_version < 0:
-            return tuple(self._log)
-        return tuple(self._log[since_version:])
+            since_version = 0
+        return tuple(self._merged_records_after(since_version, shards))
 
     def __str__(self) -> str:  # pragma: no cover - trivial
-        return f"StateStore({self._name}, keys={len(self._data)}, v={self._version})"
+        return (
+            f"StateStore({self._name}, keys={len(self._data)}, "
+            f"v={self._version}, shards={len(self._shards)})"
+        )

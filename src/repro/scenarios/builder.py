@@ -137,6 +137,21 @@ class ScenarioBuilder:
             self._fields["xdomain_batch_timeout_ms"] = xdomain_batch_timeout_ms
         return self
 
+    def sharding(
+        self, state_shards: int, execution_lanes: Optional[int] = None
+    ) -> "ScenarioBuilder":
+        """Configure state sharding and parallel execution lanes.
+
+        ``execution_lanes`` defaults to ``state_shards`` so every shard gets
+        its own lane; ``sharding(1)`` disables both (bit-identical to the
+        unsharded, free-execution model).
+        """
+        self._fields["state_shards"] = state_shards
+        self._fields["execution_lanes"] = (
+            execution_lanes if execution_lanes is not None else state_shards
+        )
+        return self
+
     def limits(
         self,
         max_simulated_ms: Optional[float] = None,

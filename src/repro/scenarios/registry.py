@@ -45,6 +45,8 @@ __all__ = [
     "ADVERSARIAL_SCENARIOS",
     "BATCH_SWEEP_SIZES",
     "BATCH_SWEEP_SCENARIOS",
+    "SHARD_SWEEP_SIZES",
+    "SHARD_SWEEP_SCENARIOS",
 ]
 
 _REGISTRY: Dict[str, Scenario] = {}
@@ -372,6 +374,51 @@ def _register_xbatch_sweep() -> None:
 
 _register_xbatch_sweep()
 
+
+# ---------------------------------------------------------------------------
+# State-shard sweep (the fig_shard scenario family)
+# ---------------------------------------------------------------------------
+
+#: Account-shard counts the fig_shard benchmark sweeps.
+SHARD_SWEEP_SIZES: Tuple[int, ...] = (1, 4, 16)
+
+#: Execution lanes held fixed across the shard sweep, so the only mover is
+#: how well the workload's shard footprints spread over the lanes.
+SHARD_SWEEP_LANES = 16
+
+
+def _register_shard_sweep() -> None:
+    """The sharded-execution sweep: the batched fig13 topology, now
+    execution-bound.
+
+    Derived from the ``batch-sweep`` base (BFT domains, LAN profile,
+    |p| = 7, saturating closed-loop load) with the batched ordering core on
+    (``batch_size=32``) and ``execution_lanes=16`` armed: ordering is
+    amortised, so per-batch state execution is what nodes spend time on.
+    Sweeping ``state_shards`` ∈ {1, 4, 16} moves the shard footprints from
+    one lane (fully serial execution) to all lanes — the apples-to-apples
+    evidence that sharded state stops execution hiding behind ordering.
+    ``shard-sweep`` aliases the single-shard (serial execution) base.
+    """
+    base = get("batch-sweep").with_overrides(
+        name="shard-sweep",
+        batch_size=32,
+        execution_lanes=SHARD_SWEEP_LANES,
+        num_transactions=1600,
+        think_time_ms=0.1,
+    )
+    register("shard-sweep", base)
+    for shards in SHARD_SWEEP_SIZES:
+        register(
+            f"shard-sweep-s{shards:03d}",
+            base.with_overrides(
+                name=f"shard-sweep-s{shards:03d}", state_shards=shards
+            ),
+        )
+
+
+_register_shard_sweep()
+
 #: The figure names the registry guarantees (tested for completeness).
 PAPER_FIGURES: Tuple[str, ...] = (
     "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
@@ -380,6 +427,11 @@ PAPER_FIGURES: Tuple[str, ...] = (
 #: Registered batch-sweep scenarios (swept by the fig_batch benchmark).
 BATCH_SWEEP_SCENARIOS: Tuple[str, ...] = tuple(
     f"batch-sweep-b{size:03d}" for size in BATCH_SWEEP_SIZES
+)
+
+#: Registered shard-sweep scenarios (swept by the fig_shard benchmark).
+SHARD_SWEEP_SCENARIOS: Tuple[str, ...] = tuple(
+    f"shard-sweep-s{shards:03d}" for shards in SHARD_SWEEP_SIZES
 )
 
 #: Registered Byzantine fault-plan scenarios (tested for safety invariants).

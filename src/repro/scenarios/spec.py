@@ -424,6 +424,8 @@ class Scenario:
     batch_timeout_ms: float = 5.0
     xdomain_batch_size: int = 1
     xdomain_batch_timeout_ms: float = 10.0
+    state_shards: int = 1
+    execution_lanes: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "seeds", tuple(_as_tuple(self.seeds)))
@@ -483,6 +485,12 @@ class Scenario:
             raise ConfigurationError("xdomain_batch_size must be >= 1")
         if self.xdomain_batch_timeout_ms <= 0:
             raise ConfigurationError("xdomain_batch_timeout_ms must be positive")
+        for knob in ("state_shards", "execution_lanes"):
+            value = getattr(self, knob)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(f"{knob} must be an integer")
+            if value < 1:
+                raise ConfigurationError(f"{knob} must be >= 1")
 
     # ------------------------------------------------------------------ building blocks
 
@@ -515,6 +523,8 @@ class Scenario:
             batch_timeout_ms=self.batch_timeout_ms,
             xdomain_batch_size=self.xdomain_batch_size,
             xdomain_batch_timeout_ms=self.xdomain_batch_timeout_ms,
+            state_shards=self.state_shards,
+            execution_lanes=self.execution_lanes,
         )
 
     def build_hierarchy(self):
@@ -622,6 +632,8 @@ class Scenario:
             "batch_timeout_ms": self.batch_timeout_ms,
             "xdomain_batch_size": self.xdomain_batch_size,
             "xdomain_batch_timeout_ms": self.xdomain_batch_timeout_ms,
+            "state_shards": self.state_shards,
+            "execution_lanes": self.execution_lanes,
         }
 
     @classmethod
@@ -674,6 +686,11 @@ class Scenario:
             lines.append(
                 f"  xdomain batching: size={self.xdomain_batch_size}, "
                 f"timeout={self.xdomain_batch_timeout_ms:g}ms"
+            )
+        if self.state_shards > 1 or self.execution_lanes > 1:
+            lines.append(
+                f"  sharding: shards={self.state_shards}, "
+                f"lanes={self.execution_lanes}"
             )
         if self.fault_schedule:
             rendered = ", ".join(

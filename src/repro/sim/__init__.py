@@ -1,6 +1,6 @@
 """Discrete-event simulation substrate: clock, events, CPU model, network."""
 
-from repro.sim.cpu import CpuQueue
+from repro.sim.cpu import CpuQueue, ExecutionLanes
 from repro.sim.events import EventQueue, ScheduledEvent
 from repro.sim.latency import (
     LatencyModel,
@@ -16,6 +16,7 @@ from repro.sim.simulator import Simulator, Timer
 
 __all__ = [
     "CpuQueue",
+    "ExecutionLanes",
     "EventQueue",
     "ScheduledEvent",
     "LatencyModel",

@@ -148,24 +148,40 @@ class TestDeltasAndSnapshots:
         assert [record.key for record in log] == ["b"]
 
 
+class _MirroredStore(StateStore):
+    """A store that keeps the naive single full log as an external oracle."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.mirror = []
+
+    def put(self, key, value):
+        from repro.ledger.state import WriteRecord
+
+        version = super().put(key, value)
+        self.mirror.append(WriteRecord(version=version, key=key, value=value))
+        return version
+
+
 class TestDeltaIndexPinning:
-    """The indexed delta/write-log fast paths return exactly what the naive
-    full-log scan returned before the per-key latest-version index landed."""
+    """The indexed (now per-shard) delta/write-log fast paths return exactly
+    what the naive single-full-log scan returned before the per-key
+    latest-version index (and the shard split) landed."""
 
     @staticmethod
     def _naive_delta(state, version):
         delta = {}
-        for record in state._log:
+        for record in state.mirror:
             if record.version > version:
                 delta[record.key] = record.value
         return delta
 
     @staticmethod
-    def _churned_store():
+    def _churned_store(shards=1):
         import random
 
         rng = random.Random(42)
-        state = StateStore("pinning")
+        state = _MirroredStore("pinning", shards=shards)
         keys = [f"k{i}" for i in range(17)]
         snapshot = None
         for step in range(400):
@@ -178,15 +194,17 @@ class TestDeltaIndexPinning:
                 state.restore(snapshot)
         return state
 
-    def test_deltas_match_the_naive_full_log_scan(self):
-        state = self._churned_store()
+    @pytest.mark.parametrize("shards", [1, 5])
+    def test_deltas_match_the_naive_full_log_scan(self, shards):
+        state = self._churned_store(shards)
         for version in (0, 1, 7, 100, 399, state.version - 1, state.version):
             assert state.delta_since(version) == self._naive_delta(state, version)
 
-    def test_write_log_matches_the_naive_filter(self):
-        state = self._churned_store()
+    @pytest.mark.parametrize("shards", [1, 5])
+    def test_write_log_matches_the_naive_filter(self, shards):
+        state = self._churned_store(shards)
         for since in (-3, 0, 1, 100, state.version):
-            expected = tuple(r for r in state._log if r.version > since)
+            expected = tuple(r for r in state.mirror if r.version > since)
             assert state.write_log(since) == expected
 
     def test_delta_extraction_is_proportional_to_the_suffix(self):

@@ -169,6 +169,74 @@ class TestCheckerCatchesSeededViolations:
         report = InvariantChecker(deployment).check()
         assert report.of("cross-atomicity")
 
+    def test_forged_cross_domain_order_violation_is_caught_by_indexed_path(self):
+        """Self-test for the participant-set-indexed cross-order check.
+
+        Forge the classic ordering violation — two cross-domain transactions
+        over the same two domains committed in opposite orders — and assert
+        the indexed path still catches it, with exactly the violations the
+        naive O(cross²) pairwise scan reports.
+        """
+        deployment = make_deployment()
+        domains = [d.id for d in deployment.hierarchy.height1_domains()]
+        first = cross_transfer(domains[:2], sender_index=0, recipient_index=1)
+        second = cross_transfer(domains[:2], sender_index=2, recipient_index=3)
+        orders = {domains[0]: (first, second), domains[1]: (second, first)}
+        for domain_id, (early, late) in orders.items():
+            for node in deployment.nodes_of(domain_id):
+                for tx in (early, late):
+                    node.ledger.append_transaction(
+                        tx, status=TransactionStatus.COMMITTED, commit_time_ms=1.0
+                    )
+        checker = InvariantChecker(deployment)
+        indexed = checker._check_cross_domain_order()
+        assert indexed, "the forged ordering violation must be flagged"
+        assert any(
+            first.tid.name in v.detail and second.tid.name in v.detail
+            for v in indexed
+        )
+        report = checker.check()
+        assert report.of("replica-consistency")
+
+    def test_indexed_cross_order_check_matches_naive_scan(self):
+        """Equivalence: indexed and naive scans agree, clean or violated.
+
+        One real multi-cross run (nothing to flag) and the forged-violation
+        deployment (something to flag) must produce identical violation sets.
+        """
+        def violations_agree(checker):
+            indexed = {str(v) for v in checker._check_cross_domain_order()}
+            naive = {str(v) for v in checker._check_cross_domain_order_naive()}
+            assert indexed == naive
+            return indexed
+
+        run = ScenarioRunner().execute(
+            registry.get("fig07b").with_overrides(num_transactions=32, num_clients=6)
+        )
+        assert not violations_agree(InvariantChecker(run.deployment))
+
+        deployment = make_deployment()
+        domains = [d.id for d in deployment.hierarchy.height1_domains()]
+        first = cross_transfer(domains[:2], sender_index=0, recipient_index=1)
+        second = cross_transfer(domains[:2], sender_index=2, recipient_index=3)
+        # A third transaction over a *disjoint* pair: shares no domain pair
+        # with the violators, so neither scan may pair it with them.
+        third = cross_transfer(domains[2:4], sender_index=4, recipient_index=5)
+        orders = {
+            domains[0]: (first, second),
+            domains[1]: (second, first),
+            domains[2]: (third,),
+            domains[3]: (third,),
+        }
+        for domain_id, txs in orders.items():
+            for node in deployment.nodes_of(domain_id):
+                for tx in txs:
+                    node.ledger.append_transaction(
+                        tx, status=TransactionStatus.COMMITTED, commit_time_ms=1.0
+                    )
+        flagged = violations_agree(InvariantChecker(deployment))
+        assert flagged and all(third.tid.name not in v for v in flagged)
+
     def test_unfinished_transaction_fails_liveness_when_expected(self):
         deployment = make_deployment()
         domains = [d.id for d in deployment.hierarchy.height1_domains()]
