@@ -42,6 +42,7 @@ __all__ = [
     "batch_figure",
     "xbatch_figure",
     "shard_figure",
+    "control_figure",
     "derive_history_label",
     "wide_area_saturated_point",
     "run_once",
@@ -547,6 +548,117 @@ def shard_figure(
             f"{run.summary.avg_latency_ms:7.2f} ms avg  "
             f"{run.summary.p95_latency_ms:8.2f} ms p95"
         )
+    return results
+
+
+def _summarise_control_decisions(run) -> None:
+    """Print what the control plane did during one run, from its trace.
+
+    Reads the ``control:*`` events: the final adapted batch/group target per
+    node (first ``size_from`` -> last ``size_to``) and the lane-map churn
+    (rebalance moves, also as a rate over the adapted span — guarded, since
+    a run whose decisions all land at one instant has a zero-length span).
+    """
+    trace = run.trace
+    if trace is None:
+        return
+    decisions = trace.control_decisions()
+    if not decisions:
+        print("    control: no adaptation events recorded")
+        return
+    total_moves = 0
+    first_at: Optional[float] = None
+    last_at: Optional[float] = None
+    for node in sorted(decisions):
+        buckets = decisions[node]
+        for bucket in buckets.values():
+            for event in bucket:
+                if first_at is None or event.at_ms < first_at:
+                    first_at = event.at_ms
+                if last_at is None or event.at_ms > last_at:
+                    last_at = event.at_ms
+        parts = []
+        if buckets["batch"]:
+            parts.append(
+                f"batch {buckets['batch'][0].get('size_from')}"
+                f"->{buckets['batch'][-1].get('size_to')}"
+            )
+        if buckets["group"]:
+            parts.append(
+                f"group {buckets['group'][0].get('size_from')}"
+                f"->{buckets['group'][-1].get('size_to')}"
+            )
+        moves = len(buckets["rebalance"])
+        total_moves += moves
+        if moves:
+            parts.append(f"lane moves={moves}")
+        if parts:
+            print(f"    control[{node}]: " + ", ".join(parts))
+    span_ms = (last_at - first_at) if first_at is not None and last_at is not None else 0.0
+    if total_moves and span_ms > 0:
+        print(
+            f"    control: {total_moves} lane moves over {span_ms:.0f} ms "
+            f"simulated ({total_moves / (span_ms / 1000.0):.1f} moves/s)"
+        )
+    elif total_moves:
+        print(f"    control: {total_moves} lane moves (zero-length decision span)")
+
+
+def control_figure(
+    title: str,
+    batch_sizes: Optional[Sequence[int]] = None,
+    figure: str = "fig_control",
+) -> Dict[str, PerformanceSummary]:
+    """The control-plane sweep (fig_control): static Zipf points vs adaptive.
+
+    Runs the registered ``zipf-sweep`` scenario family — the sharded fig13
+    topology under a Zipf-skewed (s = 1.2) saturating closed-loop load —
+    once per static batch size and once with the adaptive control plane
+    armed, starting from the *worst* static operating point (batch = 1).
+    Same workload, same load, same shards and lanes; only who picks the
+    knobs differs, so the sweep isolates what online AIMD batch/group
+    resizing plus hot-shard lane rebalancing buys over any fixed setting.
+    The adaptive run's trace is summarised (final adapted sizes, lane-map
+    churn) so the committed numbers show what the controllers actually did.
+    """
+    sizes = tuple(
+        batch_sizes if batch_sizes is not None else registry.ZIPF_SWEEP_BATCHES
+    )
+    results: Dict[str, PerformanceSummary] = {}
+    print()
+    print(title)
+    print("-" * len(title))
+    for size in sizes:
+        scenario = registry.get(f"zipf-sweep-b{size:03d}")
+        run, events_per_sec = _timed_checked_run(scenario)
+        assert run.summary is not None
+        results[f"b{size:03d}"] = run.summary
+        record_bench(
+            f"{figure}/b{size:03d}",
+            throughput_tps=run.summary.throughput_tps,
+            avg_latency_ms=run.summary.avg_latency_ms,
+            events_per_sec=events_per_sec,
+        )
+        print(
+            f"static batch={size:3d}  ->  {run.summary.throughput_tps:9.1f} tps  "
+            f"{run.summary.avg_latency_ms:7.2f} ms avg  "
+            f"{run.summary.p95_latency_ms:8.2f} ms p95"
+        )
+    run, events_per_sec = _timed_checked_run(registry.get("zipf-sweep-adaptive"))
+    assert run.summary is not None
+    results["adaptive"] = run.summary
+    record_bench(
+        figure,
+        throughput_tps=run.summary.throughput_tps,
+        avg_latency_ms=run.summary.avg_latency_ms,
+        events_per_sec=events_per_sec,
+    )
+    print(
+        f"adaptive        ->  {run.summary.throughput_tps:9.1f} tps  "
+        f"{run.summary.avg_latency_ms:7.2f} ms avg  "
+        f"{run.summary.p95_latency_ms:8.2f} ms p95"
+    )
+    _summarise_control_decisions(run)
     return results
 
 

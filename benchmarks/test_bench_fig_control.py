@@ -1,0 +1,47 @@
+"""fig_control: the self-tuning control plane vs fixed operating points.
+
+Sweeps the ``zipf-sweep`` scenario family — the sharded fig13 topology
+(Byzantine domains, LAN profile, |p| = 7, 32 shards over 8 lanes) under a
+Zipf-skewed (s = 1.2) saturating closed-loop load — once per static batch
+size {1, 16, 64} and once with the adaptive control plane armed.  The
+adaptive run starts at the *worst* static point (batch = 1) and must climb
+out on its own: AIMD batch/group resizing widens the ordering batches while
+the lane rebalancer moves the Zipf-hot shards off the busiest lane at
+execution-window boundaries.  The acceptance gates for the control-plane
+tentpole live here: adaptive must match the best static point and beat the
+worst one by at least 1.3x, with every run invariant-checked.
+"""
+
+from figure_common import control_figure
+
+
+def test_figure_control_adapts_to_best_point(benchmark):
+    def run():
+        return control_figure(
+            title="fig_control: adaptive control plane (zipf-sweep, s = 1.2)",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    statics = {
+        label: summary.throughput_tps
+        for label, summary in results.items()
+        if label != "adaptive"
+    }
+    adaptive = results["adaptive"].throughput_tps
+    best_static = max(statics.values())
+    worst_static = min(statics.values())
+    assert worst_static > 0
+    # Tentpole acceptance gate 1: adaptive >= the best static point.
+    assert adaptive >= best_static, (
+        f"adaptive reached only {adaptive:.1f} tps vs best static "
+        f"{best_static:.1f} tps ({adaptive / best_static:.2f}x < 1.0x)"
+    )
+    # Tentpole acceptance gate 2: adaptive >= 1.3x the worst static point —
+    # starting *at* that point, the controllers must climb out of it.
+    assert adaptive >= 1.3 * worst_static, (
+        f"adaptive reached only {adaptive:.1f} tps vs worst static "
+        f"{worst_static:.1f} tps ({adaptive / worst_static:.2f}x < 1.3x)"
+    )
+    for summary in results.values():
+        assert summary.pending == 0
+        assert summary.aborted == 0

@@ -8,10 +8,12 @@ configurations validate themselves on construction and raise
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.common.types import CrossDomainProtocol, FailureModel
+from repro.control.policy import ControlPolicy
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -211,6 +213,13 @@ class DeploymentConfig:
     disjoint footprints charge their execution cost concurrently (batch span
     = max over lanes).  ``state_shards=1, execution_lanes=1`` is
     bit-identical to the unsharded, free-execution model.
+
+    ``control`` is the self-tuning control-plane spec
+    (:class:`~repro.control.policy.ControlPolicy`): with the default
+    ``policy="static"`` no telemetry bus or controller is built and the
+    deployment is bit-identical to one predating the control plane; with
+    ``policy="adaptive"`` every node runs the feedback loop resizing the
+    batcher, the 2PC grouping, and the shard -> lane map online.
     """
 
     hierarchy: HierarchySpec = field(default_factory=HierarchySpec)
@@ -227,6 +236,7 @@ class DeploymentConfig:
     xdomain_batch_timeout_ms: float = 10.0
     state_shards: int = 1
     execution_lanes: int = 1
+    control: ControlPolicy = field(default_factory=ControlPolicy)
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -241,6 +251,10 @@ class DeploymentConfig:
             raise ConfigurationError("state_shards must be >= 1")
         if self.execution_lanes < 1:
             raise ConfigurationError("execution_lanes must be >= 1")
+        if not isinstance(self.control, ControlPolicy):
+            raise ConfigurationError(
+                f"control must be a ControlPolicy, got {type(self.control).__name__}"
+            )
 
     def costs_for(self, model: FailureModel) -> NodeCostModel:
         if model is FailureModel.CRASH:
@@ -257,6 +271,11 @@ class WorkloadConfig:
     small hot set of accounts (the paper's 10/50/90 % read-write-conflict
     knob); ``mobile_ratio`` — fraction of transactions issued by a device while
     visiting a remote domain.
+
+    ``zipf_skew`` — when positive, account choice within a domain follows a
+    Zipf distribution with this exponent over the whole per-domain keyspace
+    (rank 1 hottest), *replacing* the two-tier hot/cold draw.  ``0.0`` (the
+    default) keeps the historical hot-set model bit-identical.
     """
 
     num_transactions: int = 400
@@ -268,6 +287,7 @@ class WorkloadConfig:
     mobile_txns_per_excursion: int = 10
     involved_domains: int = 2
     initial_balance: int = 1_000_000
+    zipf_skew: float = 0.0
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -291,3 +311,5 @@ class WorkloadConfig:
             raise ConfigurationError("mobile_txns_per_excursion must be >= 1")
         if self.initial_balance < 0:
             raise ConfigurationError("initial_balance must be non-negative")
+        if self.zipf_skew < 0 or not math.isfinite(self.zipf_skew):
+            raise ConfigurationError("zipf_skew must be non-negative and finite")

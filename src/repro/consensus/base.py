@@ -148,6 +148,13 @@ class Batcher:
         self._timer: Any = None
         self._flushes_by_size = 0
         self._flushes_by_timeout = 0
+        #: The control plane's telemetry bus, when the host carries one
+        #: (adaptive deployments only) — the batcher is the producer of the
+        #: ``batch.*`` metrics.  ``_proposed_at`` keys in-flight batches by
+        #: canonical digest so propose -> decide latency can be measured on
+        #: the proposer.
+        self._bus = getattr(engine._host, "control_bus", None)
+        self._proposed_at: Dict[bytes, float] = {}
 
     @property
     def pending_count(self) -> int:
@@ -164,6 +171,8 @@ class Batcher:
         Raises :class:`~repro.errors.NotPrimaryError` on non-primaries, like
         ``propose`` itself, so callers keep their existing error contract.
         """
+        if self._bus is not None:
+            self._bus.observe("batch.arrivals")
         if self.batch_size <= 1:
             return self._engine.propose(payload)
         if not self._engine.is_primary:
@@ -172,6 +181,8 @@ class Batcher:
                 f"{self._engine.domain.name}"
             )
         self._pending.append(payload)
+        if self._bus is not None:
+            self._bus.observe("batch.queue_depth", float(len(self._pending)))
         if len(self._pending) >= self.batch_size:
             return self._flush("size")
         if self._timer is None or not self._timer.active:
@@ -190,6 +201,30 @@ class Batcher:
         if not self._pending:
             return None
         return self._flush("explicit")
+
+    def resize(self, new_size: int) -> None:
+        """Retarget the batch size online (the control plane's actuator).
+
+        Shrinking below the pending count flushes immediately so the queue
+        never waits on a target it already exceeds; growing simply lets the
+        current accumulation run longer.  The timeout knob is untouched, so
+        a sparse arrival stream still bounds batching latency.
+        """
+        if new_size < 1:
+            raise ConsensusError("batch_size must be >= 1")
+        self.batch_size = new_size
+        if self._pending and len(self._pending) >= new_size:
+            self._flush("resize")
+
+    def note_decided(self, batch: "Batch") -> None:
+        """Record the propose -> decide latency of one of our own batches."""
+        if self._bus is None:
+            return
+        sent_at = self._proposed_at.pop(batch.canonical_bytes(), None)
+        if sent_at is not None:
+            self._bus.observe(
+                "batch.decide_latency_ms", self._engine._host.now() - sent_at
+            )
 
     def _flush(self, trigger: str) -> Optional[int]:
         if self._timer is not None:
@@ -217,6 +252,9 @@ class Batcher:
         elif trigger == "timeout":
             self._flushes_by_timeout += 1
         batch = Batch(tuple(pending))
+        if self._bus is not None:
+            self._bus.observe("batch.fill", float(len(batch)))
+            self._proposed_at[batch.canonical_bytes()] = self._engine._host.now()
         self._engine._trace(
             "batch-propose",
             slot=None,
@@ -474,6 +512,7 @@ class ConsensusEngine(abc.ABC):
         opened = begin() if begin is not None else False
         try:
             if isinstance(payload, Batch):
+                self.batcher.note_decided(payload)
                 if self._tracing_enabled():
                     # Guarded here (not just inside _trace): building the
                     # entry-id/tid lists walks every entry, which is wasted work

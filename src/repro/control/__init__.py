@@ -1,0 +1,35 @@
+"""repro.control — the self-tuning control plane.
+
+A windowed telemetry bus (:mod:`repro.control.telemetry`), pure controllers
+(:mod:`repro.control.controllers`), the per-node feedback loop that wires
+them to the batcher, coordinator, and execution lanes
+(:mod:`repro.control.plane`), and the validated, JSON-round-trippable
+:class:`~repro.control.policy.ControlPolicy` spec that turns it all on.
+"""
+
+from repro.control.controllers import (
+    AdaptiveBatchController,
+    ControlDecision,
+    LaneRebalancer,
+)
+from repro.control.plane import ControlPlane
+from repro.control.policy import CONTROL_POLICIES, ControlPolicy
+from repro.control.telemetry import (
+    MetricsWindow,
+    TelemetryBus,
+    TelemetrySnapshot,
+    WindowStats,
+)
+
+__all__ = [
+    "CONTROL_POLICIES",
+    "ControlPolicy",
+    "MetricsWindow",
+    "TelemetryBus",
+    "TelemetrySnapshot",
+    "WindowStats",
+    "AdaptiveBatchController",
+    "ControlDecision",
+    "LaneRebalancer",
+    "ControlPlane",
+]

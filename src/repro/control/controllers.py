@@ -1,0 +1,167 @@
+"""The controllers of the self-tuning control plane.
+
+Two pure decision makers, both driven exclusively by
+:class:`~repro.control.telemetry.TelemetrySnapshot` aggregates (simulated-
+clock data only, so runs stay bit-for-bit deterministic):
+
+* :class:`AdaptiveBatchController` — AIMD over the consensus batcher's
+  target size and the coordinator's grouped-2PC target size.  Additive
+  increase while the window's demand saturates the current target and the
+  measured decide latency (or group vote round-trip) stays under its target;
+  multiplicative decrease the moment latency overruns (or grouped attempts
+  abort-retry).  The classic congestion-control shape: probe up gently, back
+  off hard.
+
+* :class:`LaneRebalancer` — greedy hot-shard placement.  When the window's
+  busiest execution lane carries more than ``imbalance_ratio`` times the
+  idlest lane's work, move the busiest lane's hottest shard (by window write
+  count) to the idlest lane — unless the move would not actually help.  The
+  controller only *computes* moves; the control plane applies them to the
+  lane map between execution windows, so commit order never changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.control.policy import ControlPolicy
+from repro.control.telemetry import TelemetrySnapshot
+from repro.errors import SimulationError
+
+__all__ = ["ControlDecision", "AdaptiveBatchController", "LaneRebalancer"]
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """One control tick's batch/group targets plus the evidence behind them."""
+
+    batch_size: int
+    group_size: int
+    arrivals: int
+    decide_latency_ms: Optional[float]
+    forwards: int
+    vote_rtt_ms: Optional[float]
+    retries: int
+
+
+class AdaptiveBatchController:
+    """AIMD sizing of the ordering batch and the grouped-2PC exchange."""
+
+    def __init__(
+        self, policy: ControlPolicy, batch_size: int, group_size: int
+    ) -> None:
+        self._policy = policy
+        self.batch_target = min(max(batch_size, policy.batch_min), policy.batch_max)
+        self.group_target = min(max(group_size, policy.group_min), policy.group_max)
+
+    def update(self, snapshot: TelemetrySnapshot) -> ControlDecision:
+        """Fold one window's telemetry into new batch/group targets."""
+        policy = self._policy
+        arrivals = snapshot.count("batch.arrivals")
+        decide_latency = snapshot.mean("batch.decide_latency_ms")
+        queue_peak = snapshot.maximum("batch.queue_depth")
+        fill_peak = snapshot.maximum("batch.fill")
+        batch = self.batch_target
+        if arrivals > 0:
+            if (
+                decide_latency is not None
+                and decide_latency > policy.target_decide_latency_ms
+            ):
+                batch = max(policy.batch_min, int(batch * policy.batch_decrease))
+            elif (
+                arrivals >= batch
+                or (queue_peak is not None and queue_peak >= batch)
+                or (fill_peak is not None and 2 * fill_peak >= batch)
+            ):
+                # The target is within striking distance of observed demand —
+                # the backlog peaked at/above it, or a flushed batch came
+                # within half of the cap: probe a bigger batch to amortise
+                # more ordering work.  Only a cap more than twice the peak
+                # burst stops binding anything and stops growing.
+                batch = min(policy.batch_max, batch + policy.batch_increase)
+        self.batch_target = batch
+
+        forwards = snapshot.count("xdomain.forwards")
+        retries = snapshot.count("xdomain.retries")
+        vote_rtt = snapshot.mean("group.vote_rtt_ms")
+        group = self.group_target
+        if forwards > 0:
+            if retries > 0 or (
+                vote_rtt is not None and vote_rtt > policy.target_vote_rtt_ms
+            ):
+                group = max(policy.group_min, int(group * policy.group_decrease))
+            elif forwards >= group:
+                group = min(policy.group_max, group + policy.group_increase)
+        self.group_target = group
+
+        return ControlDecision(
+            batch_size=batch,
+            group_size=group,
+            arrivals=arrivals,
+            decide_latency_ms=decide_latency,
+            forwards=forwards,
+            vote_rtt_ms=vote_rtt,
+            retries=retries,
+        )
+
+
+class LaneRebalancer:
+    """Greedy reassignment of the hottest shards off the busiest lane."""
+
+    def __init__(self, policy: ControlPolicy) -> None:
+        self._policy = policy
+
+    def rebalance(
+        self,
+        lane_busy_ms: Sequence[float],
+        shard_writes: Sequence[int],
+        assignment: Sequence[int],
+    ) -> List[Tuple[int, int, int]]:
+        """Compute ``(shard, from_lane, to_lane)`` moves for one window.
+
+        ``lane_busy_ms`` is the window's per-lane busy time,
+        ``shard_writes`` the window's per-shard write counts, and
+        ``assignment`` the current shard -> lane map.  Moves are computed
+        against an estimate of each shard's share of its lane's busy time
+        (proportional to its write count) and only proposed when they
+        strictly reduce the busiest lane's load without making the target
+        lane the new bottleneck.  All tie-breaks are index-ordered, so the
+        decision is deterministic.
+        """
+        lanes = len(lane_busy_ms)
+        if lanes < 2:
+            return []
+        if len(assignment) != len(shard_writes):
+            raise SimulationError(
+                f"assignment covers {len(assignment)} shards, "
+                f"writes cover {len(shard_writes)}"
+            )
+        policy = self._policy
+        busy = list(lane_busy_ms)
+        lane_of = list(assignment)
+        moves: List[Tuple[int, int, int]] = []
+        for _ in range(policy.max_moves_per_interval):
+            busiest = max(range(lanes), key=lambda lane: busy[lane])
+            idlest = min(range(lanes), key=lambda lane: busy[lane])
+            if busiest == idlest or busy[busiest] <= 0:
+                break
+            if busy[busiest] <= policy.imbalance_ratio * busy[idlest]:
+                break
+            resident = [s for s in range(len(lane_of)) if lane_of[s] == busiest]
+            if len(resident) < 2:
+                break  # a single hot shard cannot be split, only moved whole
+            lane_writes = sum(shard_writes[s] for s in resident)
+            if lane_writes <= 0:
+                break
+            hottest = max(resident, key=lambda s: shard_writes[s])
+            share = busy[busiest] * (shard_writes[hottest] / lane_writes)
+            if share <= 0:
+                break
+            if busy[idlest] + share >= busy[busiest]:
+                break  # the move would just relocate the bottleneck
+            moves.append((hottest, busiest, idlest))
+            lane_of[hottest] = idlest
+            busy[busiest] -= share
+            busy[idlest] += share
+        return moves

@@ -1,0 +1,168 @@
+"""The per-node control plane: wires telemetry, controllers, and actuators.
+
+A :class:`ControlPlane` is registered as a protocol component on every node
+of a deployment whose :class:`~repro.control.policy.ControlPolicy` is
+adaptive.  On start it arms a repeating control timer on the *simulated*
+clock; every ``interval_ms`` it drains the node's telemetry bus, runs the
+controllers, and applies their decisions:
+
+* the consensus batcher's target size (``Batcher.resize``),
+* the coordinator's grouped-2PC target size (``set_group_size``),
+* the execution-lane shard map (``ExecutionLanes.assign``) — applied only
+  between execution windows, so the span accounting of an in-flight decided
+  batch (and with it commit order) is never perturbed.
+
+Every applied change is recorded as a ``control:*`` trace event
+(``control:batch``, ``control:group``, ``control:rebalance``), which is what
+reporting and the controller-determinism tests read back.
+
+This module deliberately imports nothing from :mod:`repro.core`: the node is
+duck-typed (the same host surface the consensus engines rely on), keeping the
+dependency arrow pointing from the node layer into the control package.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.control.controllers import AdaptiveBatchController, LaneRebalancer
+from repro.control.policy import ControlPolicy
+
+__all__ = ["ControlPlane"]
+
+
+class ControlPlane:
+    """Drives one node's feedback loop at a fixed control interval."""
+
+    def __init__(self, node: Any) -> None:
+        self.node = node
+        self.policy: ControlPolicy = node.config.control
+        self._controller = AdaptiveBatchController(
+            self.policy,
+            batch_size=node.config.batch_size,
+            group_size=node.config.xdomain_batch_size,
+        )
+        self._rebalancer = LaneRebalancer(self.policy)
+        self._group_target: Optional[Any] = None
+        self.ticks = 0
+        self.lane_moves = 0
+
+    # ------------------------------------------------------------------ component surface
+
+    def on_start(self) -> None:
+        self._arm()
+
+    def handle_message(self, payload: Any, sender: str) -> bool:
+        return False
+
+    def on_decide(self, slot: int, payload: Any) -> bool:
+        return False
+
+    def on_submission_dropped(self, payload: Any) -> bool:
+        return False
+
+    def on_block_integrated(self, block: Any, child_domain: Any) -> None:
+        pass
+
+    def on_transaction_appended(self, entry: Any) -> None:
+        pass
+
+    # ------------------------------------------------------------------ the control loop
+
+    def _arm(self) -> None:
+        self.node.set_timer(self.policy.interval_ms, self._tick)
+
+    def _tick(self) -> None:
+        self._arm()
+        if self.node.crashed:
+            # A crashed node neither produces telemetry nor should act on the
+            # stale window it accumulated before crashing; drain and move on.
+            self.node.control_bus.snapshot(self.node.now())
+            return
+        self.ticks += 1
+        snapshot = self.node.control_bus.snapshot(self.node.now())
+        decision = self._controller.update(snapshot)
+        self._apply_batch_target(decision)
+        self._apply_group_target(decision)
+        self._rebalance_lanes()
+
+    # ------------------------------------------------------------------ actuators
+
+    def _apply_batch_target(self, decision: Any) -> None:
+        batcher = self.node.engine.batcher
+        if decision.batch_size == batcher.batch_size:
+            return
+        previous = batcher.batch_size
+        batcher.resize(decision.batch_size)
+        self.node.record_trace(
+            "control:batch",
+            size_from=previous,
+            size_to=decision.batch_size,
+            arrivals=decision.arrivals,
+            decide_latency_ms=decision.decide_latency_ms,
+        )
+
+    def _apply_group_target(self, decision: Any) -> None:
+        coordinator = self._find_group_target()
+        if coordinator is None:
+            return
+        if decision.group_size == coordinator.group_size:
+            return
+        previous = coordinator.group_size
+        coordinator.set_group_size(decision.group_size)
+        self.node.record_trace(
+            "control:group",
+            size_from=previous,
+            size_to=decision.group_size,
+            forwards=decision.forwards,
+            vote_rtt_ms=decision.vote_rtt_ms,
+            retries=decision.retries,
+        )
+
+    def _find_group_target(self) -> Optional[Any]:
+        """The component owning the grouped-2PC target (duck-typed), if any."""
+        if self._group_target is None:
+            for component in self.node.components:
+                if hasattr(component, "set_group_size"):
+                    self._group_target = component
+                    break
+        return self._group_target
+
+    def _rebalance_lanes(self) -> None:
+        """Re-place hot shards using the *cumulative* write distribution.
+
+        The windowed lane-busy readings (kept flowing for telemetry via
+        ``snapshot``/``reset_window``) are too sparse to place shards by — a
+        2 ms window holds a batch or two, so some lane always reads zero and
+        a window-driven greedy would chase noise forever.  The cumulative
+        per-shard write counts are the stationary signal: execution cost is
+        charged per written key, so a lane's long-run load is exactly the
+        write mass of its resident shards.  Balancing that converges — once
+        the map is within ``imbalance_ratio`` the rebalancer goes quiet
+        instead of thrashing the placement every interval.
+        """
+        node = self.node
+        lanes = node.lanes
+        if not self.policy.rebalance_lanes or not lanes.enabled:
+            return
+        if node.state is None or node.execution_window_open:
+            return
+        lanes.reset_window()  # keep the busy window aligned with control ticks
+        writes = node.state.shard_write_counts()
+        assignment = [lanes.lane_of(shard) for shard in range(len(writes))]
+        load = [0.0] * lanes.lanes
+        for shard, count in enumerate(writes):
+            load[assignment[shard]] += count
+        for shard, from_lane, to_lane in self._rebalancer.rebalance(
+            load, writes, assignment
+        ):
+            lanes.assign(shard, to_lane)
+            self.lane_moves += 1
+            node.record_trace(
+                "control:rebalance",
+                shard=shard,
+                from_lane=from_lane,
+                to_lane=to_lane,
+                load_from=round(load[from_lane], 4),
+                load_to=round(load[to_lane], 4),
+            )

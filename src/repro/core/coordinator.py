@@ -59,6 +59,7 @@ from repro.core.messages import (
 )
 from repro.core.node import ProtocolComponent, SaguaroNode
 from repro.crypto.digests import digest
+from repro.errors import ConfigurationError
 from repro.ledger.transaction import Transaction
 
 __all__ = ["CoordinatorCrossDomainProtocol"]
@@ -135,6 +136,9 @@ class _GroupState:
     coordinator_sequence: int = 0
     commit_submitted: bool = False
     timer: Any = None
+    #: When the primary multicast the group prepare (simulated clock) — the
+    #: baseline the control plane's vote round-trip telemetry measures from.
+    prepare_sent_at: float = 0.0
 
 
 @dataclass
@@ -181,6 +185,10 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
         # Participant-side group state, keyed by (coordinator domain, gid).
         self._pgroup_pending: Dict[Tuple[DomainId, str], GroupCrossPrepare] = {}
         self._pgroups: Dict[Tuple[DomainId, str], _ParticipantGroupState] = {}
+        #: The control plane's telemetry bus when the node carries one
+        #: (adaptive deployments only) — the coordinator produces the
+        #: ``group.*`` / ``xdomain.*`` metrics.
+        self._bus = getattr(node, "control_bus", None)
 
     # ------------------------------------------------------------------ dispatch
 
@@ -328,6 +336,8 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
         self.node.record_trace(
             "handoff:forward", tid=tid, origin=forward.origin_domain.name
         )
+        if self._bus is not None:
+            self._bus.observe("xdomain.forwards")
         # Conflicting requests coordinated by this domain are pipelined: the
         # prepare message carries explicit ordering dependencies (``after``)
         # instead of holding the new request back until the earlier commits.
@@ -443,6 +453,8 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             return
         # Deadlock resolution (§4.1): abort this attempt, then retry with a new
         # prepare so overlapping domains can re-order consistently.
+        if self._bus is not None:
+            self._bus.observe("xdomain.retries")
         abort = CrossAbort(
             tid=tid,
             coordinator_domain=self.node.domain.id,
@@ -592,6 +604,25 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
 
     # ------------------------------------------------------------------ coordinator role: grouped 2PC
 
+    @property
+    def group_size(self) -> int:
+        """Current grouped-2PC target size (the control plane's readback)."""
+        return self._group_size
+
+    def set_group_size(self, size: int) -> None:
+        """Retarget the grouped-2PC size online (the control plane's actuator).
+
+        Buckets that already meet the new, smaller target flush immediately;
+        otherwise accumulation just continues toward the new target.  The
+        group timeout is untouched, so sparse cross-domain traffic still
+        bounds grouping latency.
+        """
+        if size < 1:
+            raise ConfigurationError("xdomain group size must be >= 1")
+        self._group_size = size
+        for key in [k for k, bucket in self._group_accum.items() if len(bucket) >= size]:
+            self._flush_group(key)
+
     def _enqueue_group_member(self, member: CoordinatorPrepareOrder) -> None:
         """Accumulate one cross-domain transaction into its participant-set
         group; flush when the group fills (or its timeout fires)."""
@@ -625,6 +656,8 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             return
         group_id = f"{self.node.address}#{self._next_group_number}"
         self._next_group_number += 1
+        if self._bus is not None:
+            self._bus.observe("group.fill", float(len(members)))
         order = GroupPrepareOrder(group_id=group_id, members=tuple(members))
         self._group_pending[group_id] = order
         self.node.engine.submit_group(order)
@@ -669,6 +702,7 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             tids=[tid.name for tid in group.member_order],
             participants=[d.name for d in participants],
         )
+        group.prepare_sent_at = self.node.now()
         self._send_group_prepare(group)
         self._arm_group_timer(group)
 
@@ -740,6 +774,9 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             else:
                 retry.append(state)
         if retry:
+            if self._bus is not None:
+                for _ in retry:
+                    self._bus.observe("xdomain.retries")
             self._send_group_abort(group, retry, "group-timeout-retry", will_retry=True)
             retry_tids = []
             for state in retry:
@@ -837,6 +874,10 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
                 state.all_prepared = True
             accepted.append(tid)
         if accepted:
+            if self._bus is not None and group.prepare_sent_at > 0:
+                self._bus.observe(
+                    "group.vote_rtt_ms", self.node.now() - group.prepare_sent_at
+                )
             self.node.record_trace(
                 "handoff:group-vote",
                 gid=group.group_id,

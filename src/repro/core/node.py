@@ -18,6 +18,8 @@ from repro.analysis.metrics import MetricsCollector
 from repro.common.config import DeploymentConfig
 from repro.common.types import DomainId, NodeId, TransactionId, TransactionStatus
 from repro.consensus import ConsensusEngine, engine_for
+from repro.control.plane import ControlPlane
+from repro.control.telemetry import TelemetryBus
 from repro.core.application import Application, ExecutionResult
 from repro.core.messages import ClientReply
 from repro.crypto.certificates import QuorumCertificate, Signer
@@ -115,6 +117,12 @@ class SaguaroNode:
         self._lane_costs: Optional[Dict[int, float]] = None
         self.costs = config.costs_for(domain.failure_model)
         self.signer = Signer(keystore, self.address)
+        #: Telemetry sink of the self-tuning control plane.  Created *before*
+        #: the engine so the batcher can capture it at construction; ``None``
+        #: on static deployments, which keeps every producer path inert.
+        self.control_bus: Optional[TelemetryBus] = (
+            TelemetryBus(config.control.window) if config.control.enabled else None
+        )
         self.engine: ConsensusEngine = engine_for(self)
 
         self.ledger: Optional[LinearLedger] = None
@@ -130,6 +138,12 @@ class SaguaroNode:
             self.summary = SummarizedView(domain.id)
 
         self.components: List[ProtocolComponent] = []
+        #: The node's control-plane feedback loop (adaptive policies only).
+        #: Registered as a component so ``start()`` arms its interval timer.
+        self.control: Optional[ControlPlane] = None
+        if config.control.enabled:
+            self.control = ControlPlane(self)
+            self.components.append(self.control)
         #: Scratch space shared between protocol components on the same node
         #: (e.g. the optimistic protocol exposes per-round aborts and
         #: dependency lists here for the lazy-propagation component).
@@ -414,6 +428,16 @@ class SaguaroNode:
             # behind it, which is what makes execution cost visible in
             # throughput once ordering stops being the bottleneck.
             self.cpu.submit(self.simulator.now, span)
+
+    @property
+    def execution_window_open(self) -> bool:
+        """Whether a decided batch is mid-unpack (lane accumulator open).
+
+        The control plane checks this before touching the shard -> lane map:
+        re-pinning inside a window would split one batch's accounting across
+        two placements.
+        """
+        return self._lane_costs is not None
 
     def begin_execution_window(self) -> bool:
         """Open a per-batch lane accumulator; returns whether one was opened."""

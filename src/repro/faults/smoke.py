@@ -25,6 +25,11 @@ Modes (the dispatch is table-driven; add a mode by adding one entry):
     hostile equivocation run — proving safety (and the ledger-level
     consistency invariants) survive when execution is split across shard
     lanes.
+``control``
+    The self-tuning control plane armed (``policy="adaptive"``): a scaled
+    zipf-sweep run plus hostile scenarios with controllers resizing batches,
+    2PC groups, and the shard -> lane map online — proving every safety
+    invariant holds while the knobs move mid-run.
 """
 
 from __future__ import annotations
@@ -72,12 +77,30 @@ def _shard_checks() -> List[Scenario]:
     ]
 
 
+def _control_checks() -> List[Scenario]:
+    from repro.control.policy import ControlPolicy
+
+    adaptive = ControlPolicy(policy="adaptive")
+    return [
+        registry.get("zipf-sweep-adaptive").with_overrides(
+            num_transactions=96, num_clients=12
+        ),
+        registry.get("byz-equivocation").with_overrides(
+            control=adaptive, state_shards=8, execution_lanes=4
+        ),
+        registry.get("byz-partition-flap").with_overrides(
+            control=adaptive, xdomain_batch_size=4
+        ),
+    ]
+
+
 #: mode name -> scenario list factory (the whole dispatch table).
 MODES: Dict[str, Callable[[], List[Scenario]]] = {
     "default": _default_checks,
     "batch": _batch_checks,
     "xbatch": _xbatch_checks,
     "shard": _shard_checks,
+    "control": _control_checks,
 }
 
 
@@ -102,6 +125,8 @@ def main(mode: str = "default") -> int:
                 f" state_shards={scenario.state_shards}"
                 f" execution_lanes={scenario.execution_lanes}"
             )
+        if scenario.control.enabled:
+            knobs += f" control={scenario.control.policy}"
         print(
             f"{scenario.name}: committed={run.summary.committed} "
             f"aborted={run.summary.aborted} pending={run.summary.pending} "

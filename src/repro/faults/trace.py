@@ -213,6 +213,32 @@ class TraceRecorder:
             bucket[bucket_name].append(event)
         return exchanges
 
+    def control_decisions(self) -> Dict[str, Dict[str, List[TraceEvent]]]:
+        """The control plane's applied decisions, grouped per node.
+
+        Collects the ``control:*`` events (``control:batch``,
+        ``control:group``, ``control:rebalance``) into
+        ``{node: {"batch": [...], "group": [...], "rebalance": [...]}}``,
+        each bucket in trace order — what reporting reads to print final
+        adapted sizes and lane-map churn, and what the controller-determinism
+        tests compare.
+        """
+        kind_map = {
+            "control:batch": "batch",
+            "control:group": "group",
+            "control:rebalance": "rebalance",
+        }
+        decisions: Dict[str, Dict[str, List[TraceEvent]]] = {}
+        for event in self._events:
+            bucket_name = kind_map.get(event.kind)
+            if bucket_name is None or event.node is None:
+                continue
+            bucket = decisions.setdefault(
+                event.node, {"batch": [], "group": [], "rebalance": []}
+            )
+            bucket[bucket_name].append(event)
+        return decisions
+
     # ------------------------------------------------------------------ serialisation
 
     def to_dict(self) -> Dict[str, Any]:

@@ -117,6 +117,23 @@ class StateStore:
         """Write-log length per shard (sums to the global version counter)."""
         return tuple(len(shard.log) for shard in self._shards)
 
+    def shard_write_deltas(
+        self, baseline: Optional[Iterable[int]] = None
+    ) -> Tuple[int, ...]:
+        """Per-shard writes since ``baseline`` (a prior
+        :meth:`shard_write_counts` result); the full counts when ``baseline``
+        is None.  This is the control plane's window heat measurement."""
+        current = self.shard_write_counts()
+        if baseline is None:
+            return current
+        previous = tuple(baseline)
+        if len(previous) != len(current):
+            raise StateError(
+                f"{self._name}: baseline covers {len(previous)} shards, "
+                f"store has {len(current)}"
+            )
+        return tuple(now - before for now, before in zip(current, previous))
+
     def _check_shard(self, shard: int) -> None:
         if not 0 <= shard < len(self._shards):
             raise StateError(

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.common.config import TimerConfig
+from repro.control.policy import ControlPolicy
 from repro.errors import ConfigurationError
 from repro.scenarios.spec import (
     ApplicationSpec,
@@ -150,6 +151,28 @@ class ScenarioBuilder:
         self._fields["execution_lanes"] = (
             execution_lanes if execution_lanes is not None else state_shards
         )
+        return self
+
+    def control(
+        self,
+        policy_or_spec: Union[str, ControlPolicy] = "adaptive",
+        **kwargs: Any,
+    ) -> "ScenarioBuilder":
+        """Configure the self-tuning control plane.
+
+        Pass a ready :class:`ControlPolicy`, or a policy name plus
+        :class:`ControlPolicy` kwargs: ``.control()`` arms the adaptive
+        controllers with defaults, ``.control("adaptive", interval_ms=5)``
+        tunes them, ``.control("static")`` is the inert default.
+        """
+        if isinstance(policy_or_spec, ControlPolicy):
+            if kwargs:
+                raise ConfigurationError(
+                    "pass either a ControlPolicy or kwargs, not both"
+                )
+            self._fields["control"] = policy_or_spec
+        else:
+            self._fields["control"] = ControlPolicy(policy=policy_or_spec, **kwargs)
         return self
 
     def limits(

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.common.types import FailureModel
+from repro.control.policy import ControlPolicy
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultAction, FaultPlan
 from repro.scenarios.spec import (
@@ -47,6 +48,8 @@ __all__ = [
     "BATCH_SWEEP_SCENARIOS",
     "SHARD_SWEEP_SIZES",
     "SHARD_SWEEP_SCENARIOS",
+    "ZIPF_SWEEP_BATCHES",
+    "ZIPF_SWEEP_SCENARIOS",
 ]
 
 _REGISTRY: Dict[str, Scenario] = {}
@@ -419,6 +422,86 @@ def _register_shard_sweep() -> None:
 
 _register_shard_sweep()
 
+
+# ---------------------------------------------------------------------------
+# Zipf control sweep (the fig_control scenario family)
+# ---------------------------------------------------------------------------
+
+#: Static batch sizes the fig_control benchmark compares the controller to —
+#: a coarse power-of-four grid, the kind a static tuning pass would sweep.
+#: The knee of the curve sits *between* grid points, which is the point of
+#: the figure: the controller finds it online, the grid does not.
+ZIPF_SWEEP_BATCHES: Tuple[int, ...] = (1, 4, 16)
+
+#: Execution lanes of the zipf sweep: far fewer lanes than shards (8 shards
+#: per lane), so the round-robin shard -> lane map is guaranteed to co-locate
+#: the Zipf-hot shard with seven roommates — the structural imbalance the
+#: lane rebalancer exists to fix.
+ZIPF_SWEEP_LANES = 4
+ZIPF_SWEEP_SHARDS = 32
+
+
+def _register_zipf_sweep() -> None:
+    """The control-plane sweep: the batched, sharded fig13 topology under a
+    Zipf-skewed hot-account workload.
+
+    Derived from the ``batch-sweep`` base (BFT domains, LAN profile,
+    saturating closed-loop load) with ``zipf_skew=1.2`` concentrating writes
+    on a handful of hot accounts, 32 account shards over 8 execution lanes.
+    Static tuning has no good answer here: small batches stay message-bound,
+    big batches stay execution-bound on whichever lane round-robin placement
+    gave the hot shards to.  One scenario per static batch size, plus
+    ``zipf-sweep-adaptive`` which starts at the *worst* static point and lets
+    the control plane resize batches and re-place hot shards online.
+    ``zipf-sweep`` aliases the smallest static point.
+    """
+    base = get("batch-sweep").with_overrides(
+        name="zipf-sweep",
+        state_shards=ZIPF_SWEEP_SHARDS,
+        execution_lanes=ZIPF_SWEEP_LANES,
+        zipf_skew=1.2,
+        # Execution-heavy state: applying a decided key costs 16x the default,
+        # so once batching amortises ordering, the busiest execution lane is
+        # what a node's latency hangs off — and with the Zipf-hot shards
+        # round-robined onto lanes, that lane carries far more than its fair
+        # share.  This is the imbalance the adaptive lane rebalancer exists
+        # to fix; no static batch size can.
+        execute_ms=0.8,
+        num_transactions=1600,
+        think_time_ms=0.1,
+    )
+    for size in ZIPF_SWEEP_BATCHES:
+        register(
+            f"zipf-sweep-b{size:03d}",
+            base.with_overrides(name=f"zipf-sweep-b{size:03d}", batch_size=size),
+        )
+    register("zipf-sweep", get(f"zipf-sweep-b{ZIPF_SWEEP_BATCHES[0]:03d}"))
+    register(
+        "zipf-sweep-adaptive",
+        base.with_overrides(
+            name="zipf-sweep-adaptive",
+            batch_size=1,
+            # Tick fast and probe hard: the sweep's runs last a few hundred
+            # simulated ms, so a controller on the default 10 ms interval
+            # would still be ramping when the run ends.  2 ms ticks with a
+            # 16-entry additive step converge within the first ~5% of the
+            # run, making the committed number a steady-state one.  The
+            # decide-latency target is loose because this workload is
+            # execution-heavy by construction (decide latencies sit near
+            # 50 ms even at the optimum, which the default target would
+            # misread as congestion).
+            control=ControlPolicy(
+                policy="adaptive",
+                interval_ms=2.0,
+                batch_increase=16,
+                target_decide_latency_ms=250.0,
+            ),
+        ),
+    )
+
+
+_register_zipf_sweep()
+
 #: The figure names the registry guarantees (tested for completeness).
 PAPER_FIGURES: Tuple[str, ...] = (
     "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
@@ -433,6 +516,12 @@ BATCH_SWEEP_SCENARIOS: Tuple[str, ...] = tuple(
 SHARD_SWEEP_SCENARIOS: Tuple[str, ...] = tuple(
     f"shard-sweep-s{shards:03d}" for shards in SHARD_SWEEP_SIZES
 )
+
+#: Registered zipf-sweep scenarios (swept by the fig_control benchmark):
+#: the static batch-size points plus the adaptive controller run.
+ZIPF_SWEEP_SCENARIOS: Tuple[str, ...] = tuple(
+    f"zipf-sweep-b{size:03d}" for size in ZIPF_SWEEP_BATCHES
+) + ("zipf-sweep-adaptive",)
 
 #: Registered Byzantine fault-plan scenarios (tested for safety invariants).
 ADVERSARIAL_SCENARIOS: Tuple[str, ...] = (

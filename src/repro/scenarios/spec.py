@@ -17,10 +17,13 @@ no RNG state.  :mod:`repro.scenarios.runner` materialises and executes them.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.common.config import (
+    DEFAULT_BYZANTINE_COSTS,
+    DEFAULT_CRASH_COSTS,
     DeploymentConfig,
     DomainSpec,
     HierarchySpec,
@@ -29,6 +32,7 @@ from repro.common.config import (
     WorkloadConfig,
 )
 from repro.common.types import CrossDomainProtocol, DomainId, FailureModel
+from repro.control.policy import ControlPolicy
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultAction, FaultPlan
 from repro.sim.latency import PROFILE_NAMES
@@ -317,6 +321,7 @@ class WorkloadSpec:
     mobile_txns_per_excursion: int = 10
     involved_domains: int = 2
     initial_balance: int = 1_000_000
+    zipf_skew: float = 0.0
     ride_hours: float = 0.5
     ride_fare: float = 10.0
 
@@ -341,6 +346,7 @@ class WorkloadSpec:
             mobile_txns_per_excursion=self.mobile_txns_per_excursion,
             involved_domains=self.involved_domains,
             initial_balance=self.initial_balance,
+            zipf_skew=self.zipf_skew,
             seed=seed,
         )
 
@@ -426,6 +432,12 @@ class Scenario:
     xdomain_batch_timeout_ms: float = 10.0
     state_shards: int = 1
     execution_lanes: int = 1
+    #: When set, overrides both cost models' per-key execution charge —
+    #: scenarios modelling execution-heavy state (contract evaluation,
+    #: authenticated storage) dial this up so the lanes, not the ordering
+    #: messages, are what saturates a node.  ``None`` keeps the defaults.
+    execute_ms: Optional[float] = None
+    control: ControlPolicy = field(default_factory=ControlPolicy)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "seeds", tuple(_as_tuple(self.seeds)))
@@ -491,6 +503,23 @@ class Scenario:
                 raise ConfigurationError(f"{knob} must be an integer")
             if value < 1:
                 raise ConfigurationError(f"{knob} must be >= 1")
+        if self.execute_ms is not None:
+            if (
+                isinstance(self.execute_ms, bool)
+                or not isinstance(self.execute_ms, (int, float))
+                or not self.execute_ms > 0
+                or not math.isfinite(self.execute_ms)
+            ):
+                raise ConfigurationError(
+                    "execute_ms must be positive and finite when given"
+                )
+        if isinstance(self.control, Mapping):
+            object.__setattr__(self, "control", ControlPolicy.from_dict(self.control))
+        if not isinstance(self.control, ControlPolicy):
+            raise ConfigurationError(
+                "control must be a ControlPolicy (or its dict form), got "
+                f"{type(self.control).__name__}"
+            )
 
     # ------------------------------------------------------------------ building blocks
 
@@ -512,7 +541,18 @@ class Scenario:
         return self.engine in BASELINE_ENGINES
 
     def deployment_config(self, seed: int) -> DeploymentConfig:
+        costs: Dict[str, Any] = {}
+        if self.execute_ms is not None:
+            costs = dict(
+                crash_costs=replace(
+                    DEFAULT_CRASH_COSTS, execute_ms=self.execute_ms
+                ),
+                byzantine_costs=replace(
+                    DEFAULT_BYZANTINE_COSTS, execute_ms=self.execute_ms
+                ),
+            )
         return DeploymentConfig(
+            **costs,
             hierarchy=self.topology.hierarchy_spec(),
             protocol=self.protocol,
             timers=self.timers,
@@ -525,6 +565,7 @@ class Scenario:
             xdomain_batch_timeout_ms=self.xdomain_batch_timeout_ms,
             state_shards=self.state_shards,
             execution_lanes=self.execution_lanes,
+            control=self.control,
         )
 
     def build_hierarchy(self):
@@ -634,6 +675,8 @@ class Scenario:
             "xdomain_batch_timeout_ms": self.xdomain_batch_timeout_ms,
             "state_shards": self.state_shards,
             "execution_lanes": self.execution_lanes,
+            "execute_ms": self.execute_ms,
+            "control": self.control.to_dict(),
         }
 
     @classmethod
@@ -652,6 +695,8 @@ class Scenario:
             kwargs["timers"] = _dataclass_from_dict(
                 TimerConfig, kwargs["timers"], "TimerConfig"
             )
+        if "control" in kwargs and isinstance(kwargs["control"], Mapping):
+            kwargs["control"] = ControlPolicy.from_dict(kwargs["control"])
         return cls(**kwargs)
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -691,6 +736,18 @@ class Scenario:
             lines.append(
                 f"  sharding: shards={self.state_shards}, "
                 f"lanes={self.execution_lanes}"
+            )
+        if self.execute_ms is not None:
+            lines.append(f"  execution: execute_ms={self.execute_ms:g}")
+        if workload.zipf_skew > 0:
+            lines.append(f"  zipf: skew={workload.zipf_skew:g}")
+        if self.control.enabled:
+            lines.append(
+                f"  control: {self.control.policy} "
+                f"(interval={self.control.interval_ms:g}ms, "
+                f"batch=[{self.control.batch_min},{self.control.batch_max}], "
+                f"group=[{self.control.group_min},{self.control.group_max}], "
+                f"rebalance={'on' if self.control.rebalance_lanes else 'off'})"
             )
         if self.fault_schedule:
             rendered = ", ".join(

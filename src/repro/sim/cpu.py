@@ -18,7 +18,7 @@ applying decided transactions was free.
 
 from __future__ import annotations
 
-from typing import Mapping, Tuple
+from typing import Dict, Mapping, Tuple
 
 from repro.errors import SimulationError
 
@@ -74,12 +74,18 @@ class CpuQueue:
 class ExecutionLanes:
     """Per-node parallel execution budget (lane completion = max over lanes).
 
-    Shards map to lanes round-robin (``shard % lanes``); one charged unit of
+    Shards map to lanes round-robin (``shard % lanes``) unless the control
+    plane has pinned a shard elsewhere via :meth:`assign`; one charged unit of
     work is a mapping ``lane -> serial cost`` accumulated over a decided
     batch, and :meth:`span_of` returns the wall-clock span the batch occupies
     the node's executor — the busiest lane's serial cost.  The budget only
     does the lane accounting; the caller submits the span to the node's
     :class:`CpuQueue` so execution time actually delays later work.
+
+    Besides the monotonic ``lane_busy_ms`` totals the budget keeps a
+    *windowed* per-lane busy counter readable via :meth:`snapshot` and
+    cleared via :meth:`reset_window`, which is what the control plane's
+    per-interval imbalance measurement reads.
     """
 
     def __init__(self, lanes: int = 1) -> None:
@@ -87,6 +93,8 @@ class ExecutionLanes:
             raise SimulationError(f"execution lanes must be >= 1, got {lanes}")
         self._lanes = lanes
         self._lane_busy_ms = [0.0] * lanes
+        self._window_busy_ms = [0.0] * lanes
+        self._assignments: Dict[int, int] = {}
         self._batches = 0
         self._serial_ms_total = 0.0
         self._span_ms_total = 0.0
@@ -118,11 +126,44 @@ class ExecutionLanes:
     def lane_busy_ms(self) -> Tuple[float, ...]:
         return tuple(self._lane_busy_ms)
 
+    @property
+    def assignments(self) -> Mapping[int, int]:
+        """Controller-pinned shard -> lane overrides (round-robin otherwise)."""
+        return dict(self._assignments)
+
     def lane_of(self, shard: int) -> int:
-        """The lane executing ``shard`` (stable round-robin placement)."""
+        """The lane executing ``shard``: a pinned assignment when the control
+        plane has placed it, stable round-robin otherwise."""
         if shard < 0:
             raise SimulationError(f"negative shard: {shard}")
+        pinned = self._assignments.get(shard)
+        if pinned is not None:
+            return pinned
         return shard % self._lanes
+
+    def assign(self, shard: int, lane: int) -> None:
+        """Pin ``shard`` to ``lane``, overriding round-robin placement.
+
+        The caller (the control plane) is responsible for only re-pinning
+        between execution windows; the budget itself is placement-agnostic.
+        """
+        if shard < 0:
+            raise SimulationError(f"negative shard: {shard}")
+        if not 0 <= lane < self._lanes:
+            raise SimulationError(f"lane {lane} outside [0, {self._lanes})")
+        if lane == shard % self._lanes:
+            self._assignments.pop(shard, None)
+        else:
+            self._assignments[shard] = lane
+
+    def snapshot(self) -> Tuple[float, ...]:
+        """Per-lane busy time accumulated since the last :meth:`reset_window`."""
+        return tuple(self._window_busy_ms)
+
+    def reset_window(self) -> None:
+        """Start a fresh control window (monotonic totals are untouched)."""
+        for lane in range(self._lanes):
+            self._window_busy_ms[lane] = 0.0
 
     def span_of(self, lane_costs: Mapping[int, float]) -> float:
         """Charge one unit of execution work; returns its wall-clock span.
@@ -141,6 +182,7 @@ class ExecutionLanes:
             if cost < 0:
                 raise SimulationError(f"negative lane cost: {cost}")
             self._lane_busy_ms[lane] += cost
+            self._window_busy_ms[lane] += cost
             self._serial_ms_total += cost
             if cost > span:
                 span = cost

@@ -9,7 +9,11 @@ knobs the evaluation sweeps:
   small per-domain hot set, creating read-write conflicts;
 * ``mobile_ratio`` — fraction of edge devices that are mobile; a mobile device
   issues ``mobile_txns_per_excursion`` transactions in a remote domain before
-  moving back home.
+  moving back home;
+* ``zipf_skew`` — when positive, account choice follows a Zipf distribution
+  with this exponent over the whole per-domain keyspace (account index =
+  rank, index 0 hottest), replacing the two-tier hot/cold draw.  This is the
+  skewed-heat workload the self-tuning control plane is evaluated against.
 
 Transactions are dealt to a configurable number of closed-loop clients, which
 is how offered load is controlled when sweeping throughput-versus-latency
@@ -19,6 +23,7 @@ curves.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -112,6 +117,7 @@ class WorkloadGenerator:
         self._ride_hours = ride_hours
         self._ride_fare = ride_fare
         self._rng = random.Random(self._config.seed)
+        self._zipf_cdf = self._build_zipf_cdf()
         self._height1 = hierarchy.height1_domains()
         self._leaves = hierarchy.leaf_domains()
         if not self._height1 or not self._leaves:
@@ -140,9 +146,30 @@ class WorkloadGenerator:
 
     # ------------------------------------------------------------------ account selection
 
+    def _build_zipf_cdf(self) -> Optional[List[float]]:
+        """Cumulative Zipf weights over account ranks, or None when unskewed.
+
+        Weight of rank ``i`` (account index ``i``) is ``1 / (i + 1) ** s``;
+        the running sums let :meth:`_pick_account` draw in O(log n) by
+        bisecting a single uniform variate against the CDF.
+        """
+        skew = self._config.zipf_skew
+        if skew <= 0:
+            return None
+        cdf: List[float] = []
+        running = 0.0
+        for rank in range(self._config.accounts_per_domain):
+            running += 1.0 / (rank + 1) ** skew
+            cdf.append(running)
+        return cdf
+
     def _pick_account(self, domain: DomainId) -> str:
         config = self._config
-        if self._rng.random() < config.contention_ratio:
+        if self._zipf_cdf is not None:
+            target = self._rng.random() * self._zipf_cdf[-1]
+            index = bisect_left(self._zipf_cdf, target)
+            index = min(index, config.accounts_per_domain - 1)
+        elif self._rng.random() < config.contention_ratio:
             index = self._rng.randrange(config.hot_accounts_per_domain)
         else:
             index = self._rng.randrange(
