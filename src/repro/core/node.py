@@ -149,6 +149,7 @@ class SaguaroNode:
         #: dependency lists here for the lazy-propagation component).
         self.shared: Dict[str, Any] = {}
         self._executed: Set[TransactionId] = set()
+        self._process_labels: Dict[type, str] = {}
         self._crashed = False
 
         network.register(self)
@@ -208,15 +209,24 @@ class SaguaroNode:
     # ------------------------------------------------------------------ endpoint
 
     def deliver(self, envelope: Envelope) -> None:
-        """Network entry point: queue CPU work, then process the payload."""
+        """Network entry point: queue CPU work, then process the payload.
+
+        The payload and sender are copied out of the envelope here rather
+        than captured in a closure: nothing may retain the envelope past this
+        call, so the network can recycle it through its free list.
+        """
         if self._crashed:
             return
-        cost = self._service_cost(envelope.payload)
+        payload = envelope.payload
+        payload_type = type(payload)
+        cost = self._service_cost(payload)
         completion = self.cpu.submit(self.simulator.now, cost)
+        label = self._process_labels.get(payload_type)
+        if label is None:
+            label = f"{self.address}:{payload_type.__name__}"
+            self._process_labels[payload_type] = label
         self.simulator.schedule_at(
-            completion,
-            lambda: self._process(envelope.payload, envelope.sender),
-            label=f"{self.address}:{type(envelope.payload).__name__}",
+            completion, self._process, label, (payload, envelope.sender)
         )
 
     def _service_cost(self, payload: Any) -> float:

@@ -30,6 +30,12 @@ Modes (the dispatch is table-driven; add a mode by adding one entry):
     zipf-sweep run plus hostile scenarios with controllers resizing batches,
     2PC groups, and the shard -> lane map online — proving every safety
     invariant holds while the knobs move mid-run.
+``perf``
+    The simulator speed and parallel-runner guarantees: the events/sec
+    microbenchmark (the calendar queue must beat the retained legacy heap on
+    an identical seeded storm — a lenient in-process gate, safe on noisy CI
+    runners), then a two-worker ``sweep_grid(..., parallel=2)`` whose
+    :class:`ResultSet` must equal the serial run bit for bit.
 """
 
 from __future__ import annotations
@@ -103,11 +109,53 @@ MODES: Dict[str, Callable[[], List[Scenario]]] = {
     "control": _control_checks,
 }
 
+#: CI gate for the in-process queue comparison.  The local ratio is ~1.5-2x;
+#: anything at or below 1x means the rewrite regressed, while the slack above
+#: that absorbs shared-runner noise.
+PERF_SMOKE_QUEUE_RATIO = 1.1
+
+
+def _perf_checks() -> int:
+    """The ``perf`` smoke: events/sec microbench + parallel-sweep equality."""
+    from repro.sim.bench import queue_events_per_sec, simulator_events_per_sec
+    from repro.sim.events import EventQueue, HeapEventQueue
+
+    wheel = queue_events_per_sec(EventQueue, num_events=20_000)
+    heap = queue_events_per_sec(HeapEventQueue, num_events=20_000)
+    dispatch = simulator_events_per_sec(num_messages=10_000)
+    print(
+        f"event queue storm: calendar {wheel:,.0f} ops/s vs legacy heap "
+        f"{heap:,.0f} ops/s ({wheel / heap:.2f}x); "
+        f"dispatch loop {dispatch:,.0f} ev/s"
+    )
+    assert wheel >= PERF_SMOKE_QUEUE_RATIO * heap, (
+        f"calendar queue is not faster than the legacy heap "
+        f"({wheel / heap:.2f}x < {PERF_SMOKE_QUEUE_RATIO}x)"
+    )
+
+    scenario = registry.get("fig07a").with_overrides(
+        num_transactions=24, num_clients=4
+    )
+    runner = ScenarioRunner(check_invariants=True)
+    grid = {"cross_domain_ratio": (0.0, 0.2)}
+    serial = runner.sweep_grid(scenario, grid)
+    parallel = runner.sweep_grid(scenario, grid, parallel=2)
+    assert serial == parallel, (
+        "sweep_grid(parallel=2) diverged from the serial ResultSet"
+    )
+    print(
+        f"parallel sweep: {len(parallel)} cells across 2 workers equal the "
+        "serial ResultSet bit for bit — determinism ok"
+    )
+    return 0
+
 
 def main(mode: str = "default") -> int:
+    if mode == "perf":
+        return _perf_checks()
     checks_factory = MODES.get(mode)
     if checks_factory is None:
-        known = ", ".join(sorted(MODES))
+        known = ", ".join(sorted([*MODES, "perf"]))
         print(f"unknown smoke mode {mode!r}; known: {known}", file=sys.stderr)
         return 2
     runner = ScenarioRunner(check_invariants=True)

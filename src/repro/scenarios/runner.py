@@ -220,8 +220,12 @@ class ScenarioRun:
         """Whether bounded liveness should hold for this scenario's faults."""
         if not self.scenario.fault_plan.within_tolerance(self.deployment.hierarchy):
             return False
+        # Replay the schedule in time order, not list order: a recover listed
+        # before its own crash must still cancel it.  sorted() is stable, so
+        # events at the same time keep their schedule order.
+        ordered = sorted(self.scenario.fault_schedule, key=lambda e: e.at_ms)
         crashed: Dict[str, set] = {}
-        for event in self.scenario.fault_schedule:
+        for event in ordered:
             target = (event.domain, event.node)
             if event.action == "crash":
                 crashed.setdefault(event.domain, set()).add(target)
@@ -320,6 +324,12 @@ def _schedule_faults(scenario: Scenario, deployment: Any) -> None:
             ) from exc
         if event.node is None:
             target = deployment.primary_node_of(domain_id)
+        elif event.node < 0:
+            # Without this guard a negative index would silently target a
+            # node from the end of the list via Python indexing.
+            raise ConfigurationError(
+                f"fault event node index must be non-negative, got {event.node}"
+            )
         elif event.node < len(nodes):
             target = nodes[event.node]
         else:
@@ -338,6 +348,22 @@ def _schedule_faults(scenario: Scenario, deployment: Any) -> None:
 # ---------------------------------------------------------------------------
 
 
+def _execute_cell(payload: Tuple[Scenario, int, bool]) -> RunResult:
+    """Run one (scenario, seed) cell; the unit of work for parallel sweeps.
+
+    Module-level so worker processes can import it; the scenario and the
+    returned :class:`RunResult` both travel by pickle, which preserves every
+    float bit-exactly — a parallel sweep is therefore indistinguishable from
+    a serial one.
+    """
+    scenario, seed, check = payload
+    run = materialize(scenario, seed)
+    result = run.run()
+    if check:
+        run.check_invariants()
+    return result
+
+
 class ScenarioRunner:
     """Executes scenarios: single runs, seed replication, and grid sweeps.
 
@@ -346,13 +372,57 @@ class ScenarioRunner:
     returned (safety always; liveness when the scenario's faults are within
     tolerance), turning each figure into a checked execution.  The per-call
     ``check_invariants`` argument overrides the constructor default.
+
+    With ``parallel=N`` (constructor default or per-call override on
+    :meth:`run`, :meth:`sweep`, and :meth:`sweep_grid`), the independent
+    (override, seed) cells fan out across ``N`` worker processes.  Every run
+    is deterministic and isolated, and results are merged back in row-major
+    cell order, so the returned :class:`ResultSet` is identical to the serial
+    one — bit for bit, not just statistically.
     """
 
-    def __init__(self, check_invariants: bool = False) -> None:
+    def __init__(
+        self, check_invariants: bool = False, parallel: Optional[int] = None
+    ) -> None:
         self.check_invariants = check_invariants
+        self.parallel = self._validate_parallel(parallel)
 
     def _should_check(self, check_invariants: Optional[bool]) -> bool:
         return self.check_invariants if check_invariants is None else check_invariants
+
+    @staticmethod
+    def _validate_parallel(parallel: Optional[int]) -> Optional[int]:
+        if parallel is None:
+            return None
+        if isinstance(parallel, bool) or not isinstance(parallel, int):
+            raise ConfigurationError(
+                f"parallel must be an int >= 1 or None, got {parallel!r}"
+            )
+        if parallel < 1:
+            raise ConfigurationError(f"parallel must be >= 1, got {parallel}")
+        return parallel
+
+    def _resolve_parallel(self, parallel: Optional[int]) -> int:
+        value = self._validate_parallel(parallel)
+        if value is None:
+            value = self.parallel
+        return 1 if value is None else value
+
+    def _run_cells(
+        self, cells: Sequence[Tuple[Scenario, int]], check: bool, workers: int
+    ) -> List[RunResult]:
+        """Execute cells serially or across processes; order is preserved."""
+        payloads = [(scenario, seed, check) for scenario, seed in cells]
+        if workers > 1 and len(cells) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            # Executor.map yields results in submission order regardless of
+            # which worker finishes first, keeping the merge deterministic.
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(cells))
+            ) as executor:
+                return list(executor.map(_execute_cell, payloads))
+        return [_execute_cell(payload) for payload in payloads]
 
     def execute(
         self,
@@ -380,20 +450,26 @@ class ScenarioRunner:
         return result
 
     def run(
-        self, scenario: Scenario, check_invariants: Optional[bool] = None
+        self,
+        scenario: Scenario,
+        check_invariants: Optional[bool] = None,
+        parallel: Optional[int] = None,
     ) -> ResultSet:
         """Run every seed of the scenario; one :class:`RunResult` per seed."""
-        return ResultSet(
-            [
-                self.run_seed(scenario, seed, check_invariants=check_invariants)
-                for seed in scenario.seeds
-            ]
-        )
+        check = self._should_check(check_invariants)
+        workers = self._resolve_parallel(parallel)
+        cells = [(scenario, seed) for seed in scenario.seeds]
+        return ResultSet(self._run_cells(cells, check, workers))
 
     # ------------------------------------------------------------------ sweeps
 
     def sweep(
-        self, scenario: Scenario, over: str, values: Sequence[Any]
+        self,
+        scenario: Scenario,
+        over: str,
+        values: Sequence[Any],
+        check_invariants: Optional[bool] = None,
+        parallel: Optional[int] = None,
     ) -> ResultSet:
         """Sweep one knob: for each value, override the scenario and run all seeds.
 
@@ -404,10 +480,19 @@ class ScenarioRunner:
         """
         if not values:
             raise ConfigurationError("sweep() needs at least one value")
-        return self.sweep_grid(scenario, {over: values})
+        return self.sweep_grid(
+            scenario,
+            {over: values},
+            check_invariants=check_invariants,
+            parallel=parallel,
+        )
 
     def sweep_grid(
-        self, scenario: Scenario, grid: Mapping[str, Sequence[Any]]
+        self,
+        scenario: Scenario,
+        grid: Mapping[str, Sequence[Any]],
+        check_invariants: Optional[bool] = None,
+        parallel: Optional[int] = None,
     ) -> ResultSet:
         """Cartesian sweep over several knobs at once (row-major order)."""
         if not grid:
@@ -416,24 +501,27 @@ class ScenarioRunner:
         for key, values in axes:
             if not values:
                 raise ConfigurationError(f"sweep axis {key!r} has no values")
-        results: List[RunResult] = []
+        check = self._should_check(check_invariants)
+        workers = self._resolve_parallel(parallel)
+        cells: List[Tuple[Scenario, int]] = []
+        combos: List[Tuple[Tuple[str, Any], ...]] = []
         for combo in _cartesian(axes):
             derived = scenario.with_overrides(**dict(combo))
             for seed in derived.seeds:
-                run = materialize(derived, seed)
-                result = run.run()
-                if self.check_invariants:
-                    run.check_invariants()
-                results.append(
-                    RunResult(
-                        scenario=result.scenario,
-                        engine=result.engine,
-                        seed=result.seed,
-                        num_clients=result.num_clients,
-                        summary=result.summary,
-                        params=combo,
-                    )
-                )
+                cells.append((derived, seed))
+                combos.append(combo)
+        outcomes = self._run_cells(cells, check, workers)
+        results = [
+            RunResult(
+                scenario=outcome.scenario,
+                engine=outcome.engine,
+                seed=outcome.seed,
+                num_clients=outcome.num_clients,
+                summary=outcome.summary,
+                params=combo,
+            )
+            for combo, outcome in zip(combos, outcomes)
+        ]
         return ResultSet(results)
 
 

@@ -380,8 +380,13 @@ class FaultEvent:
         if self.at_ms < 0:
             raise ConfigurationError("fault events cannot be scheduled in the past")
         parse_domain_name(self.domain)
-        if self.node is not None and self.node < 0:
-            raise ConfigurationError("node index must be non-negative")
+        if self.node is not None:
+            if isinstance(self.node, bool) or not isinstance(self.node, int):
+                raise ConfigurationError(
+                    f"node index must be an int or None, got {self.node!r}"
+                )
+            if self.node < 0:
+                raise ConfigurationError("node index must be non-negative")
         if self.action not in FAULT_ACTIONS:
             raise ConfigurationError(
                 f"unknown fault action {self.action!r}; known: {FAULT_ACTIONS}"

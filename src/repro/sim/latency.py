@@ -91,6 +91,24 @@ class LatencyModel:
             raise NetworkError("jitter_fraction must be in [0, 1)")
         if self.bandwidth_kb_per_ms <= 0:
             raise NetworkError("bandwidth must be positive")
+        # Precomputed (src, dst) -> RTT/2 table: one_way_ms runs once per
+        # message, and building a frozenset key per call is measurable there.
+        # Keyed on ordered tuples so lookups need no set construction; both
+        # directions of each pair are materialized.  Halving is exact in
+        # binary floating point, so delays match the unconditioned formula
+        # bit for bit.  The table is an auxiliary attribute (assigned via
+        # object.__setattr__ because the dataclass is frozen), not a field,
+        # so equality and repr are unaffected.
+        half_rtt: Dict[Tuple[str, str], float] = {}
+        for pair, value in self.rtt_ms.items():
+            pair_regions = tuple(pair)
+            if len(pair_regions) == 2:
+                a, b = pair_regions
+                half_rtt[(a, b)] = value / 2.0
+                half_rtt[(b, a)] = value / 2.0
+        for region in self.regions:
+            half_rtt[(region, region)] = self.local_rtt_ms / 2.0
+        object.__setattr__(self, "_half_rtt", half_rtt)
 
     def rtt(self, region_a: str, region_b: str) -> float:
         """Round-trip time between two regions (ms), without jitter."""
@@ -113,9 +131,15 @@ class LatencyModel:
         rng: Optional[random.Random] = None,
     ) -> float:
         """One-way delay for a message of ``size_kb`` kilobytes."""
-        base = self.rtt(src_region, dst_region) / 2.0
-        serialization = size_kb / self.bandwidth_kb_per_ms
-        delay = base + serialization
+        base = self._half_rtt.get((src_region, dst_region))
+        if base is None:
+            if src_region == dst_region:
+                # Regions outside the declared tuple still get LAN latency.
+                base = self.local_rtt_ms / 2.0
+                self._half_rtt[(src_region, dst_region)] = base
+            else:
+                base = self.rtt(src_region, dst_region) / 2.0
+        delay = base + size_kb / self.bandwidth_kb_per_ms
         if rng is not None and self.jitter_fraction > 0:
             delay *= 1.0 + rng.uniform(0.0, self.jitter_fraction)
         return delay

@@ -10,8 +10,9 @@ is what a real crash looks like from the outside).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, Optional, Protocol, Set
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Protocol, Set
 
 from repro.errors import NetworkError
 from repro.sim.latency import LatencyModel
@@ -22,13 +23,21 @@ __all__ = ["Envelope", "Endpoint", "Network", "NetworkStats"]
 #: Default protocol-message size, matching the paper's measured ~0.2 KB.
 DEFAULT_MESSAGE_KB = 0.2
 
+#: Maximum envelopes kept on a network's free list.
+_ENVELOPE_POOL_CAP = 512
 
-@dataclass(frozen=True, slots=True)
+
+@dataclass(slots=True, eq=False)
 class Envelope:
     """One message in flight: payload plus routing and timing metadata.
 
-    Slotted: one envelope exists per delivered message, which makes this one
-    of the hottest allocation sites in the simulator.
+    Slotted and identity-compared: one envelope exists per delivered message,
+    which makes this one of the hottest allocation sites in the simulator.
+    Mutable so the network can recycle delivered envelopes through a free
+    list instead of allocating a fresh one per message; endpoints must treat
+    a delivered envelope as read-only and copy out anything they keep past
+    the ``deliver`` call (the pool only reclaims envelopes nobody else still
+    references, so retained envelopes stay intact).
     """
 
     sender: str
@@ -37,6 +46,32 @@ class Envelope:
     size_kb: float
     sent_at: float
     deliver_at: float
+
+
+def _pooled_refcount_baseline() -> int:
+    """Refcount of an envelope that is referenced only by its delivery event.
+
+    Computed by mimicking the exact call shape of the simulator's dispatch
+    (``event.callback(*event.args)`` landing in ``Network._deliver``): an
+    args tuple holding the envelope, the callee's parameter slot, and the
+    ``getrefcount`` argument itself.  ``_deliver`` recycles an envelope only
+    when its refcount matches this baseline — any extra reference (an
+    endpoint that kept the envelope, a caller that held ``send``'s return
+    value) makes the count higher and the envelope is simply dropped to the
+    garbage collector instead.
+    """
+    # The probe envelope must be referenced by nothing but the args tuple —
+    # binding it to a local name here would inflate the baseline by one and
+    # make the pool reclaim envelopes that still have a live reference.
+    args = (Envelope("", "", None, 0.0, 0.0, 0.0),)
+
+    def observe(envelope: Envelope) -> int:
+        return sys.getrefcount(envelope)
+
+    return observe(*args)
+
+
+_POOLED_REFCOUNT = _pooled_refcount_baseline()
 
 
 class Endpoint(Protocol):
@@ -90,6 +125,8 @@ class Network:
         self._endpoints: Dict[str, Endpoint] = {}
         self._partitions: Set[FrozenSet[str]] = set()
         self._crashed: Set[str] = set()
+        self._pool: List[Envelope] = []
+        self._labels: Dict[type, str] = {}
         self.stats = NetworkStats()
 
     @property
@@ -173,10 +210,11 @@ class Network:
             payload, "size_kb", DEFAULT_MESSAGE_KB
         )
 
-        if sender in self._crashed or recipient in self._crashed:
+        crashed = self._crashed
+        if crashed and (sender in crashed or recipient in crashed):
             self.stats.messages_dropped += 1
             return None
-        if frozenset({sender, recipient}) in self._partitions:
+        if self._partitions and frozenset({sender, recipient}) in self._partitions:
             self.stats.messages_dropped += 1
             return None
         if self._drop_rate > 0 and self._rng.random() < self._drop_rate:
@@ -187,20 +225,24 @@ class Network:
             source.region, destination.region, size_kb=size, rng=self._rng
         )
         now = self._simulator.now
-        envelope = Envelope(
-            sender=sender,
-            recipient=recipient,
-            payload=payload,
-            size_kb=size,
-            sent_at=now,
-            deliver_at=now + delay,
-        )
+        pool = self._pool
+        if pool:
+            envelope = pool.pop()
+            envelope.sender = sender
+            envelope.recipient = recipient
+            envelope.payload = payload
+            envelope.size_kb = size
+            envelope.sent_at = now
+            envelope.deliver_at = now + delay
+        else:
+            envelope = Envelope(sender, recipient, payload, size, now, now + delay)
         self.stats.record(payload, size, source.region != destination.region)
-        self._simulator.schedule(
-            delay,
-            lambda: self._deliver(envelope),
-            label=f"deliver:{type(payload).__name__}",
-        )
+        payload_type = type(payload)
+        label = self._labels.get(payload_type)
+        if label is None:
+            label = f"deliver:{payload_type.__name__}"
+            self._labels[payload_type] = label
+        self._simulator.schedule(delay, self._deliver, label, (envelope,))
         return envelope
 
     def multicast(
@@ -220,11 +262,22 @@ class Network:
         return sent
 
     def _deliver(self, envelope: Envelope) -> None:
-        if envelope.recipient in self._crashed:
+        recipient = envelope.recipient
+        if recipient in self._crashed:
             self.stats.messages_dropped += 1
-            return
-        endpoint = self._endpoints.get(envelope.recipient)
-        if endpoint is None:
-            self.stats.messages_dropped += 1
-            return
-        endpoint.deliver(envelope)
+        else:
+            endpoint = self._endpoints.get(recipient)
+            if endpoint is None:
+                self.stats.messages_dropped += 1
+            else:
+                endpoint.deliver(envelope)
+        # Recycle only when the delivery event held the last reference: the
+        # refcount baseline accounts for exactly the dispatch call shape, so
+        # an envelope retained anywhere (an endpoint's inbox, a test probe,
+        # send()'s caller) fails the check and is left to the GC untouched.
+        if (
+            len(self._pool) < _ENVELOPE_POOL_CAP
+            and sys.getrefcount(envelope) == _POOLED_REFCOUNT
+        ):
+            envelope.payload = None
+            self._pool.append(envelope)

@@ -4,8 +4,9 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import SimulationError
+from repro.sim.bench import make_storm
 from repro.sim.cpu import CpuQueue
-from repro.sim.events import EventQueue
+from repro.sim.events import EventQueue, HeapEventQueue
 from repro.sim.rng import RngRegistry
 from repro.sim.simulator import Simulator
 
@@ -103,6 +104,102 @@ class TestEventQueueCompaction:
         assert len(queue) == 1
 
 
+def _pop_order(queue, ops):
+    """Replay a ``make_storm`` op list, recording the (time, sequence) order."""
+    now = 0.0
+    recent = []
+    order = []
+    for op, value in ops:
+        if op == "push":
+            recent.append(queue.push(now + value, lambda: None))
+            if len(recent) > 64:
+                del recent[:32]
+        elif op == "pop":
+            event = queue.pop()
+            if event is not None:
+                now = event.time
+                order.append((event.time, event.sequence))
+        else:
+            index = int(value)
+            if index <= len(recent):
+                recent[-index].cancel()
+    return order
+
+
+class TestCalendarWheel:
+    """Behaviour specific to the bucketed calendar queue: cancellations at the
+    head of future buckets, the far-future overflow tier, compaction across
+    all three tiers, and differential equivalence with the legacy heap."""
+
+    def test_peek_time_drains_a_cancelled_run_at_the_head(self):
+        queue = EventQueue()
+        doomed = [queue.push(float(i), lambda: None) for i in range(1, 6)]
+        survivor = queue.push(50.0, lambda: None)
+        for event in doomed:
+            event.cancel()
+        assert queue.peek_time() == 50.0
+        assert queue.pop() is survivor
+        assert queue.peek_time() is None
+        assert queue.pop() is None
+
+    def test_cancelled_far_future_event_is_never_popped(self):
+        queue = EventQueue()
+        near = queue.push(1.0, lambda: None)
+        far = queue.push(10_000.0, lambda: None)  # beyond the wheel horizon
+        far.cancel()
+        assert queue.pop() is near
+        assert queue.peek_time() is None
+        assert queue.pop() is None
+
+    def test_compaction_spans_buckets_and_far_overflow(self):
+        queue = EventQueue()
+        keep = [queue.push(t, lambda: None) for t in (0.5, 40.0, 9_000.0)]
+        dead = []
+        for i in range(300):
+            dead.append(queue.push(0.1 + i * 0.4, lambda: None))  # bucketed
+            dead.append(queue.push(5_000.0 + i, lambda: None))  # far overflow
+        for event in dead:
+            event.cancel()
+        assert len(queue) == len(keep)
+        # Compaction swept the dead entries out of every tier; at most one
+        # sub-threshold batch of cancelled entries may still be queued.
+        assert queue.heap_size <= 64 + len(keep)
+        assert [queue.pop().time for _ in range(len(keep))] == [0.5, 40.0, 9_000.0]
+        assert queue.pop() is None
+
+    def test_reanchoring_preserves_order_with_a_tiny_wheel(self):
+        # Eight 1ms buckets force constant overflow into the far tier and
+        # frequent re-anchoring; pop order must still be (time, sequence).
+        queue = EventQueue(bucket_width_ms=1.0, num_buckets=8)
+        times = [float((i * 37) % 500) for i in range(400)]
+        for t in times:
+            queue.push(t, lambda: None)
+        popped = [queue.pop() for _ in range(len(times))]
+        assert [e.time for e in popped] == sorted(times)
+        sequences_at_ties = {}
+        for event in popped:
+            sequences_at_ties.setdefault(event.time, []).append(event.sequence)
+        for sequences in sequences_at_ties.values():
+            assert sequences == sorted(sequences)
+
+    def test_differential_pop_order_matches_legacy_heap(self):
+        # The same seeded push/cancel/pop storm (including far-future timers
+        # that trigger re-anchoring) must pop identically from both queues.
+        ops = make_storm(num_events=6_000, seed=99)
+        assert _pop_order(EventQueue(), ops) == _pop_order(HeapEventQueue(), ops)
+
+    def test_differential_holds_for_a_tiny_wheel(self):
+        ops = make_storm(num_events=2_000, seed=7)
+        wheel = EventQueue(bucket_width_ms=0.5, num_buckets=16)
+        assert _pop_order(wheel, ops) == _pop_order(HeapEventQueue(), ops)
+
+    def test_args_are_stored_and_dispatched(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda a, b: (a, b), args=(1, 2))
+        assert queue.pop() is event
+        assert event.callback(*event.args) == (1, 2)
+
+
 class TestSimulator:
     def test_clock_advances_to_event_times(self):
         sim = Simulator()
@@ -149,6 +246,13 @@ class TestSimulator:
     def test_negative_delay_rejected(self):
         with pytest.raises(SimulationError):
             Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_with_args_dispatches_them(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda a, b: seen.append((a, b, sim.now)), args=("x", 2))
+        sim.run_until_idle()
+        assert seen == [("x", 2, 1.0)]
 
     def test_timer_cancellation_prevents_callback(self):
         sim = Simulator()
