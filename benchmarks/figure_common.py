@@ -42,6 +42,7 @@ __all__ = [
     "batch_figure",
     "xbatch_figure",
     "shard_figure",
+    "pipeline_figure",
     "control_figure",
     "derive_history_label",
     "wide_area_saturated_point",
@@ -548,6 +549,57 @@ def shard_figure(
             f"{run.summary.avg_latency_ms:7.2f} ms avg  "
             f"{run.summary.p95_latency_ms:8.2f} ms p95"
         )
+    return results
+
+
+def pipeline_figure(
+    title: str,
+    figure: str = "fig_pipeline",
+) -> Dict[str, PerformanceSummary]:
+    """The speculation sweep (fig_pipeline): stalled slots, off versus on.
+
+    Runs the registered ``pipeline-sweep`` pair — the sharded fig13 topology
+    under saturating load with every third consensus slot's decision stalled
+    by 60 ms on every height-1 domain — once with speculation off (in-order
+    delivery serialises behind every stall) and once with speculative
+    out-of-order execution armed (decided batches with disjoint shard
+    footprints execute during the stall window and merely commit in order).
+    Both runs are invariant-checked, including speculation safety.
+    """
+    results: Dict[str, PerformanceSummary] = {}
+    print()
+    print(title)
+    print("-" * len(title))
+    for name in registry.PIPELINE_SWEEP_SCENARIOS:
+        scenario = registry.get(name)
+        mode = "on" if scenario.speculation else "off"
+        run, events_per_sec = _timed_checked_run(scenario)
+        assert run.summary is not None
+        results[mode] = run.summary
+        spec_commits = (
+            len(run.trace.events("spec:commit")) if run.trace is not None else 0
+        )
+        rollbacks = (
+            len(run.trace.events("spec:rollback")) if run.trace is not None else 0
+        )
+        record_bench(
+            f"{figure}/{mode}",
+            throughput_tps=run.summary.throughput_tps,
+            avg_latency_ms=run.summary.avg_latency_ms,
+            events_per_sec=events_per_sec,
+        )
+        print(
+            f"speculation={mode:3s}  ->  {run.summary.throughput_tps:9.1f} tps  "
+            f"{run.summary.avg_latency_ms:7.2f} ms avg  "
+            f"{run.summary.p95_latency_ms:8.2f} ms p95  "
+            f"(spec commits: {spec_commits}, rollbacks: {rollbacks})"
+        )
+    speedup = (
+        results["on"].throughput_tps / results["off"].throughput_tps
+        if results.get("off") and results["off"].throughput_tps > 0
+        else float("nan")
+    )
+    print(f"speculation speedup: {speedup:.2f}x")
     return results
 
 

@@ -220,6 +220,16 @@ class DeploymentConfig:
     deployment is bit-identical to one predating the control plane; with
     ``policy="adaptive"`` every node runs the feedback loop resizing the
     batcher, the 2PC grouping, and the shard -> lane map online.
+
+    ``speculation`` arms speculative out-of-order execution with in-order
+    commit: while a decided slot is still undelivered (a delivery gap), the
+    engine speculatively applies later decided slots whose batch shard
+    footprints are disjoint from every earlier undelivered and undecided
+    slot's possible footprint, capturing per-key undo so a conflicting late
+    decision rolls the speculation back.  Client-visible effects (ledger
+    appends, replies, metrics) still happen strictly in slot order at commit
+    time; ``speculation=False`` (the default) is bit-identical to the
+    pre-speculation engine.
     """
 
     hierarchy: HierarchySpec = field(default_factory=HierarchySpec)
@@ -236,6 +246,7 @@ class DeploymentConfig:
     xdomain_batch_timeout_ms: float = 10.0
     state_shards: int = 1
     execution_lanes: int = 1
+    speculation: bool = False
     control: ControlPolicy = field(default_factory=ControlPolicy)
 
     def __post_init__(self) -> None:
@@ -251,6 +262,8 @@ class DeploymentConfig:
             raise ConfigurationError("state_shards must be >= 1")
         if self.execution_lanes < 1:
             raise ConfigurationError("execution_lanes must be >= 1")
+        if not isinstance(self.speculation, bool):
+            raise ConfigurationError("speculation must be a bool")
         if not isinstance(self.control, ControlPolicy):
             raise ConfigurationError(
                 f"control must be a ControlPolicy, got {type(self.control).__name__}"

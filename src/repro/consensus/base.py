@@ -21,9 +21,9 @@ passthrough, bit-identical to unbatched ordering.
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Dict, Iterator, List, Optional, Protocol, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Protocol, Set, Tuple
 
-from repro.common.types import DomainId, FailureModel
+from repro.common.types import DomainId, FailureModel, TransactionKind
 from repro.consensus.messages import SlotStatusQuery
 from repro.crypto.digests import digest
 from repro.errors import ConsensusError, NotPrimaryError
@@ -75,7 +75,7 @@ class Batch:
     batch for tracing and the batch-atomicity invariant.
     """
 
-    __slots__ = ("entries", "entry_ids", "_canonical")
+    __slots__ = ("entries", "entry_ids", "_canonical", "declared_keys", "speculable")
 
     def __init__(self, entries: Tuple[Any, ...]) -> None:
         self.entries: Tuple[Any, ...] = tuple(entries)
@@ -84,6 +84,28 @@ class Batch:
         parts = tuple(payload_digest_of(entry) for entry in self.entries)
         self.entry_ids: Tuple[str, ...] = tuple(part.hex()[:16] for part in parts)
         self._canonical = digest(b"batch", *parts)
+        # Declared state accesses, cached once at construction: the shard
+        # footprint (``StateStore.shards_of(declared_keys)``) drives every
+        # speculation disjointness check, so recomputing the key walk per
+        # check would be per-slot-pair work on a hot path.  ``speculable``
+        # is the structural gate: only batches made purely of single-domain
+        # internal transactions may execute out of order (cross-domain and
+        # opaque entries have effects beyond the local state store).
+        keys: List[str] = []
+        speculable = True
+        for entry in self.entries:
+            transaction = getattr(entry, "transaction", None)
+            if (
+                transaction is None
+                or getattr(transaction, "kind", None) is not TransactionKind.INTERNAL
+                or transaction.is_cross_domain
+            ):
+                speculable = False
+            if transaction is not None:
+                keys.extend(getattr(transaction, "read_keys", ()))
+                keys.extend(getattr(transaction, "write_keys", ()))
+        self.declared_keys: Tuple[str, ...] = tuple(dict.fromkeys(keys))
+        self.speculable: bool = speculable
 
     def canonical_bytes(self) -> bytes:
         return self._canonical
@@ -297,20 +319,38 @@ class ConsensusHost(Protocol):
 
 
 class DecisionLog:
-    """Tracks decided slots and releases them to the host in order."""
+    """Tracks decided slots and releases them to the host in order.
+
+    The log also carries the *speculation window*: which decided-but-
+    undelivered slots have been speculatively applied out of order.  The
+    commit watermark (everything at or below it is delivered, i.e. committed
+    in order) and the speculation watermark (highest speculatively applied
+    slot) bound the window; the engine owns the footprints and undo records.
+    """
 
     def __init__(self, deliver: Callable[[int, Any], None]) -> None:
         self._deliver = deliver
         self._decided: Dict[int, Any] = {}
         self._next_to_deliver = 1
         self._delivered: List[Tuple[int, Any]] = []
+        self._speculated: Dict[int, None] = {}
 
     @property
     def next_slot_to_deliver(self) -> int:
         return self._next_to_deliver
 
     @property
+    def delivered_count(self) -> int:
+        """How many slots have been delivered (no copy, unlike ``delivered``)."""
+        return self._next_to_deliver - 1
+
+    @property
     def delivered(self) -> List[Tuple[int, Any]]:
+        """A fresh copy of every ``(slot, payload)`` delivered so far.
+
+        Copies the whole history on every access — test/debug introspection
+        only; production paths use :attr:`delivered_count` / :meth:`payload_of`.
+        """
         return list(self._delivered)
 
     def is_decided(self, slot: int) -> bool:
@@ -320,6 +360,39 @@ class DecisionLog:
     def has_gap(self) -> bool:
         """True when decided slots are waiting on an earlier, missing one."""
         return bool(self._decided)
+
+    def pending_slots(self) -> Tuple[int, ...]:
+        """Decided-but-undelivered slots, ascending (the gap's far side)."""
+        return tuple(sorted(self._decided))
+
+    # -- speculation window --------------------------------------------------
+
+    def mark_speculated(self, slot: int) -> None:
+        """Note that a decided, undelivered ``slot`` was applied out of order."""
+        self._speculated[slot] = None
+
+    def unmark_speculated(self, slot: int) -> None:
+        """Drop ``slot`` from the window (committed in order, or rolled back)."""
+        self._speculated.pop(slot, None)
+
+    def is_speculated(self, slot: int) -> bool:
+        return slot in self._speculated
+
+    @property
+    def speculated_slots(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._speculated))
+
+    @property
+    def commit_watermark(self) -> int:
+        """Highest slot delivered (committed) in order."""
+        return self._next_to_deliver - 1
+
+    @property
+    def spec_watermark(self) -> int:
+        """Highest speculatively applied slot (commit watermark if none)."""
+        if self._speculated:
+            return max(self._speculated)
+        return self._next_to_deliver - 1
 
     def payload_of(self, slot: int) -> Optional[Any]:
         """The decided payload of ``slot`` (``None`` if undecided)."""
@@ -343,6 +416,31 @@ class DecisionLog:
             self._deliver(current, value)
 
 
+class _SpeculatedSlot:
+    """One speculatively applied slot: its payload, footprint, and undo.
+
+    ``undo`` is a tuple of ``(transaction, undo_map)`` in execution order;
+    each undo map holds ``{key: (existed, old_value)}`` over the
+    transaction's declared write keys, captured just before it executed.
+    ``completion`` is the simulated time the background executor finishes
+    the slot's speculative span — in-order commit joins it.
+    """
+
+    __slots__ = ("payload", "footprint", "undo", "completion")
+
+    def __init__(
+        self,
+        payload: Any,
+        footprint: Tuple[int, ...],
+        undo: Tuple[Tuple[Any, Dict[str, Tuple[bool, Any]]], ...],
+        completion: float = 0.0,
+    ) -> None:
+        self.payload = payload
+        self.footprint = footprint
+        self.undo = undo
+        self.completion = completion
+
+
 class ConsensusEngine(abc.ABC):
     """Common state for the intra-domain consensus engines."""
 
@@ -359,6 +457,20 @@ class ConsensusEngine(abc.ABC):
         #: (identical to the slot number when nothing is batched).
         self._delivery_seq = 0
         config = getattr(host, "config", None)
+        #: Speculative out-of-order execution (in-order commit).  Off by
+        #: default; when off, every speculation hook below is a cheap
+        #: attribute check and the engine is bit-identical to the
+        #: pre-speculation one.
+        self._speculation_enabled = bool(getattr(config, "speculation", False))
+        self._spec_records: Dict[int, _SpeculatedSlot] = {}
+        #: Slow-slot stall injection (the ``stall`` fault kind): when armed,
+        #: every ``_stall_every``-th slot's local decision is deferred by
+        #: ``_stall_delay_ms`` — the delivery-gap generator the pipeline
+        #: benchmarks speculate across.
+        self._stall_every: Optional[int] = None
+        self._stall_delay_ms = 0.0
+        self._stalled_slots: Set[int] = set()
+        self._stall_released: Set[int] = set()
         self.batcher = Batcher(
             self,
             batch_size=getattr(config, "batch_size", 1),
@@ -491,10 +603,186 @@ class ConsensusEngine(abc.ABC):
             self._next_slot = slot + 1
 
     def _record_decision(self, slot: int, payload: Any) -> None:
+        if (
+            self._stall_every is not None
+            and slot % self._stall_every == 0
+            and slot not in self._stall_released
+            and not self._log.is_decided(slot)
+        ):
+            # Injected slow slot: defer the local decision, leaving a
+            # delivery gap for later slots to speculate across.  The slot is
+            # held until the stall timer releases it — decision attempts
+            # arriving in the meantime (further commit votes, learn echoes)
+            # are swallowed, exactly as if the decision were still in flight.
+            if slot in self._stalled_slots:
+                return
+            self._stalled_slots.add(slot)
+            self._trace("slot-stall", slot=slot, delay_ms=self._stall_delay_ms)
+
+            def _release() -> None:
+                self._stalled_slots.discard(slot)
+                self._stall_released.add(slot)
+                self._record_decision(slot, payload)
+
+            self._host.set_timer(self._stall_delay_ms, _release)
+            return
         if not self._log.is_decided(slot):
             self._trace("decide", slot=slot, payload=payload)
+            if self._spec_records:
+                # A missing earlier slot just decided: unwind any speculated
+                # later slot whose footprint overlaps the *actual* decided
+                # payload (which may differ from the pending payload the
+                # speculation scan saw, e.g. after equivocation or a view
+                # change re-proposal).  Rollback strictly precedes the
+                # in-order re-delivery that log.record() may now trigger.
+                self._rollback_conflicts(slot, payload)
         self._log.record(slot, payload)
+        if self._speculation_enabled:
+            self._maybe_speculate()
         self._maybe_arm_gap_recovery()
+
+    # -- speculative out-of-order execution ------------------------------------
+
+    def arm_slot_stall(self, every: int, delay_ms: float) -> None:
+        """Defer every ``every``-th slot's local decision by ``delay_ms``."""
+        if every < 1:
+            raise ConsensusError("stall interval must be >= 1")
+        if delay_ms <= 0:
+            raise ConsensusError("stall delay must be positive")
+        self._stall_every = every
+        self._stall_delay_ms = delay_ms
+
+    def disarm_slot_stall(self) -> None:
+        self._stall_every = None
+
+    def _pending_payload_of(self, slot: int) -> Optional[Any]:
+        """Best-known payload of an undecided ``slot`` (engine-specific).
+
+        Used by the speculation scan to bound an undecided gap slot's
+        *possible* footprint.  The base implementation only knows this
+        node's own proposals; engines override with their replica-side
+        payload stores.  ``None`` means unknown — treated as a universal
+        footprint, which stops speculation past that slot.
+        """
+        return self._proposals.get(slot)
+
+    def _footprint_of(self, payload: Any) -> Optional[Tuple[int, ...]]:
+        """Shard footprint of a speculable payload; ``None`` = universal.
+
+        Only batches of purely-internal, single-domain transactions have a
+        footprint the local state store fully describes; anything else
+        (cross-domain entries, group payloads, opaque proposals) may touch
+        state beyond the store and must block speculation past it.
+        """
+        state = getattr(self._host, "state", None)
+        if state is None:
+            return None
+        if isinstance(payload, Batch) and payload.speculable:
+            return state.shards_of(payload.declared_keys)
+        return None
+
+    def _rollback_conflicts(self, slot: int, payload: Any) -> None:
+        """Unwind speculated slots above ``slot`` that overlap its footprint."""
+        later = [s for s in self._spec_records if s > slot]
+        if not later:
+            return
+        footprint = self._footprint_of(payload)
+        blocked = None if footprint is None else set(footprint)
+        for victim in sorted(later, reverse=True):
+            record = self._spec_records[victim]
+            if blocked is None or blocked.intersection(record.footprint):
+                self._rollback_slot(victim)
+
+    def _rollback_slot(self, slot: int) -> None:
+        """Restore state and execution dedup as if ``slot`` never ran."""
+        record = self._spec_records.pop(slot)
+        self._log.unmark_speculated(slot)
+        unwind = self._host.speculative_unwind  # hosts that speculated have it
+        for transaction, undo in reversed(record.undo):
+            unwind(transaction, undo)
+        self._trace(
+            "spec:rollback", slot=slot, payload=record.payload,
+            size=len(record.undo),
+        )
+
+    def _maybe_speculate(self) -> None:
+        """Speculatively apply decided slots beyond the gap when safe.
+
+        Walks slots from the delivery gap upward, accumulating the *blocking
+        footprint*: shards touched by every earlier undelivered slot —
+        decided ones by their payload, undecided ones by their best-known
+        pending payload (unknown = universal, stop).  A decided,
+        not-yet-speculated slot whose footprint is disjoint from everything
+        earlier commutes with all of it and is applied out of order, with
+        per-key undo captured for rollback.  Commit stays strictly in slot
+        order via the normal delivery path.
+        """
+        if not self._log.has_gap:
+            return
+        host = self._host
+        if getattr(host, "state", None) is None:
+            return
+        if getattr(host, "speculative_execute", None) is None:
+            return
+        blocked: set = set()
+        pending = self._log.pending_slots()
+        for slot in range(self._log.next_slot_to_deliver, pending[-1] + 1):
+            if self._log.is_decided(slot):
+                existing = self._spec_records.get(slot)
+                if existing is not None:
+                    blocked.update(existing.footprint)
+                    continue
+                payload = self._log.payload_of(slot)
+                footprint = self._footprint_of(payload)
+                if footprint is None:
+                    # Not speculable: its effects reach beyond the local
+                    # store, so nothing after it may run early either.
+                    return
+                if not blocked.intersection(footprint):
+                    self._speculate_slot(slot, payload, footprint)
+                blocked.update(footprint)
+            else:
+                possible = self._pending_payload_of(slot)
+                footprint = (
+                    self._footprint_of(possible) if possible is not None else None
+                )
+                if footprint is None:
+                    # Unknown possible footprint = universal: stop the scan.
+                    return
+                blocked.update(footprint)
+
+    def _speculate_slot(
+        self, slot: int, payload: Batch, footprint: Tuple[int, ...]
+    ) -> None:
+        """Apply ``slot`` out of order, capturing per-transaction undo.
+
+        The execution span lands on the host's *background* executor (the
+        otherwise-idle lanes a head-of-line stall leaves behind), not the
+        protocol CPU — out-of-order execution must overlap with consensus
+        message handling, or speculating would slow the very pipeline it is
+        trying to fill.  The completion time is kept so the slot's in-order
+        commit can join any unfinished tail.
+        """
+        execute = self._host.speculative_execute
+        undo: List[Tuple[Any, Dict[str, Tuple[bool, Any]]]] = []
+        begin = getattr(self._host, "begin_speculative_window", None)
+        close = getattr(self._host, "close_speculative_window", None)
+        opened = begin() if begin is not None and close is not None else False
+        completion = 0.0
+        try:
+            for entry in payload.entries:
+                undo_map = execute(entry.transaction)
+                if undo_map is not None:
+                    undo.append((entry.transaction, undo_map))
+        finally:
+            if opened:
+                completion = close()
+        self._spec_records[slot] = _SpeculatedSlot(
+            payload=payload, footprint=footprint, undo=tuple(undo),
+            completion=completion,
+        )
+        self._log.mark_speculated(slot)
+        self._trace("spec:deliver", slot=slot, payload=payload, size=len(payload))
 
     def _deliver_decided(self, slot: int, payload: Any) -> None:
         """Hand a decided slot to the host, unpacking batches per entry.
@@ -503,6 +791,20 @@ class ConsensusEngine(abc.ABC):
         so components that order by sequence (e.g. the cross-domain commit
         guard) keep strict ordering between entries of the same batch.
         """
+        if self._spec_records:
+            record = self._spec_records.pop(slot, None)
+            if record is not None:
+                # The slot's in-order turn arrived and its speculation
+                # survived: state is already applied (execute_once dedups),
+                # so the normal path below performs only the commit-time
+                # effects — ledger append, client reply, metrics.  Commit
+                # first joins the background executor in case the gap closed
+                # before the speculative span finished.
+                self._log.unmark_speculated(slot)
+                finish = getattr(self._host, "finish_speculation", None)
+                if finish is not None:
+                    finish(record.completion)
+                self._trace("spec:commit", slot=slot, payload=payload)
         # Execution-lane window: everything the host executes while this
         # decision unpacks is charged as ONE spanned unit — lanes with
         # disjoint shard footprints overlap instead of serialising.  Hosts

@@ -51,6 +51,10 @@ class PaxosEngine(ConsensusEngine):
         self._maybe_decide(slot)
         return slot
 
+    def _pending_payload_of(self, slot: int) -> Any:
+        """Replica-side pending payload: whatever accept we acknowledged."""
+        return self._accepted_payload.get(slot)
+
     # -- message handling -----------------------------------------------------------
 
     def _decide_echo(self, slot: int, payload: Any) -> Any:

@@ -70,6 +70,15 @@ class PbftEngine(ConsensusEngine):
         self._payloads[slot] = payload
         self._payload_views[slot] = view
 
+    def _pending_payload_of(self, slot: int) -> Any:
+        """Replica-side pending payload: whatever pre-prepare we adopted.
+
+        An equivocating primary (or a view change) may still decide the slot
+        on a *different* payload — the decide-time rollback check covers
+        that; this only bounds the speculation scan's footprint estimate.
+        """
+        return self._payloads.get(slot)
+
     # -- message handling -----------------------------------------------------------------
 
     def _decide_echo(self, slot: int, payload: Any) -> Any:

@@ -111,6 +111,13 @@ class SaguaroNode:
         self.adversary = AdversaryControls()
 
         self.cpu = CpuQueue()
+        #: Background executor for *speculative* out-of-order execution: the
+        #: work happens off the protocol path (on otherwise-idle lanes during
+        #: a head-of-line stall), so it must not delay message handling the
+        #: way delivery-time execution deliberately does.  In-order commit
+        #: waits for it via :meth:`finish_speculation`.  Never used unless
+        #: the deployment arms ``speculation``.
+        self.spec_cpu = CpuQueue()
         #: Parallel-execution budget: decided work is split by account-shard
         #: footprint and disjoint lanes overlap (inert at execution_lanes=1).
         self.lanes = ExecutionLanes(config.execution_lanes)
@@ -391,6 +398,77 @@ class SaguaroNode:
 
     def has_executed(self, tid: TransactionId) -> bool:
         return tid in self._executed
+
+    # ------------------------------------------------------------------ speculation
+
+    def speculative_execute(
+        self, transaction: Transaction
+    ) -> Optional[Dict[str, Tuple[bool, Any]]]:
+        """Execute ``transaction`` out of order, capturing per-key undo.
+
+        Returns ``{key: (existed, old_value)}`` over the declared write keys
+        — enough to restore the store exactly — or ``None`` when nothing ran
+        (not a height-1 node, or already executed; the commit-time delivery
+        dedups through the same ``_executed`` set, so a surviving
+        speculation costs nothing extra at its in-order turn).
+        """
+        if self.state is None or transaction.tid in self._executed:
+            return None
+        undo = {
+            key: (key in self.state, self.state.get(key))
+            for key in transaction.write_keys
+        }
+        self.execute_once(transaction)
+        return undo
+
+    def speculative_unwind(
+        self, transaction: Transaction, undo: Dict[str, Tuple[bool, Any]]
+    ) -> None:
+        """Roll one speculated transaction back: restore state, re-arm dedup."""
+        if self.state is None:
+            return
+        for key, (existed, value) in undo.items():
+            if existed:
+                self.state.put(key, value)
+            elif key in self.state:
+                self.state.remove(key)
+        self._executed.discard(transaction.tid)
+
+    def begin_speculative_window(self) -> bool:
+        """Open a lane accumulator whose span lands on the background executor.
+
+        Same lane accounting as :meth:`begin_execution_window`, but
+        :meth:`close_speculative_window` books the span on ``spec_cpu``
+        instead of the protocol CPU — speculative execution overlaps with
+        message handling rather than queueing in front of it.
+        """
+        return self.begin_execution_window()
+
+    def close_speculative_window(self) -> float:
+        """Submit the accumulated span to the background executor.
+
+        Returns the simulated time the speculative execution *completes*;
+        the engine stores it so the slot's in-order commit can wait out any
+        unfinished tail via :meth:`finish_speculation`.
+        """
+        costs, self._lane_costs = self._lane_costs, None
+        span = self.lanes.span_of(costs) if costs else 0.0
+        if span > 0:
+            return self.spec_cpu.submit(self.simulator.now, span)
+        return self.simulator.now
+
+    def finish_speculation(self, completion_ms: float) -> None:
+        """In-order commit of a speculated slot: join its background work.
+
+        If the speculative execution has not finished yet (the gap closed
+        faster than the executor drained), the protocol CPU *waits* until it
+        does — a zero-service job arriving at the completion instant pushes
+        ``busy_until`` to it without charging any CPU work, so commits of
+        several speculated slots in one release burst all join the same
+        background interval instead of re-paying it.
+        """
+        if completion_ms > self.simulator.now:
+            self.cpu.submit(completion_ms, 0.0)
 
     # ------------------------------------------------------------------ execution lanes
 

@@ -42,6 +42,14 @@ meaningful:
     outcome is never dropped, and no member is both committed and finally
     aborted).  One member aborting must not abort its groupmates; each
     member's cross-domain atomicity is still covered by ``cross-atomicity``.
+``speculation-safety``
+    Speculative out-of-order execution never changes the serial outcome:
+    per (node, slot) the ``spec:deliver``/``spec:rollback``/``spec:commit``
+    events form a legal pattern (every rollback/commit resolves an open
+    speculation, commit is terminal), every rollback precedes the slot's
+    in-order re-delivery, and each replica's final state is bit-identical
+    to a fresh serial replay of its committed ledger entries in order.
+    Checked only when the trace carries ``spec:*`` events.
 ``liveness`` (optional)
     Every issued transaction reached a final state (committed or aborted);
     checked only when the fault plan leaves each domain within its fault
@@ -145,6 +153,9 @@ class InvariantChecker:
             violations += self._check_certificates()
             violations += self._check_batch_atomicity()
             violations += self._check_group_atomicity()
+            if self.trace.events_with_prefix("spec:"):
+                checks.append("speculation-safety")
+                violations += self._check_speculation_safety()
         if expect_liveness:
             checks.append("liveness")
             violations += self._check_liveness()
@@ -635,6 +646,136 @@ class InvariantChecker:
                             "left uncommitted",
                             tid,
                         )
+        return violations
+
+    # ------------------------------------------------------------------ speculation
+
+    def _check_speculation_safety(self) -> List[InvariantViolation]:
+        """Speculative execution must be invisible in the committed outcome.
+
+        Three sub-checks over the ``spec:deliver`` / ``spec:rollback`` /
+        ``spec:commit`` events the engine emits:
+
+        * per (node, slot) the events form a legal pattern — a rollback or
+          commit always resolves an open speculation, a commit is terminal,
+          and a slot is never speculated twice without a rollback in between;
+        * every rollback happens *before* the slot's final in-order delivery
+          (``batch-decide``) on that node — once a slot is committed in
+          order it must never be unwound;
+        * each replica's final state equals a fresh serial replay of its
+          committed ledger entries, in ledger order, against a freshly
+          initialized state store (bit-identical snapshots).  Replicas that
+          end the run with a still-open speculation are exempt from the
+          replay (their state legitimately holds uncommitted effects).
+        """
+        violations: List[InvariantViolation] = []
+        assert self.trace is not None
+        spec_events = sorted(
+            self.trace.events_with_prefix("spec:"), key=lambda event: event.seq
+        )
+        by_key: Dict[Tuple[str, int], List[Any]] = {}
+        for event in spec_events:
+            if event.node is None or event.slot is None:
+                violations.append(
+                    InvariantViolation(
+                        invariant="speculation-safety",
+                        domain=event.domain,
+                        detail=f"{event.kind} event without a node/slot",
+                    )
+                )
+                continue
+            by_key.setdefault((event.node, event.slot), []).append(event)
+        final_decide: Dict[Tuple[str, int], int] = {}
+        for event in self.trace.events("batch-decide"):
+            if event.node is None or event.slot is None:
+                continue
+            key = (event.node, event.slot)
+            if event.seq > final_decide.get(key, -1):
+                final_decide[key] = event.seq
+
+        dangling: Set[str] = set()
+        for (node, slot), events in sorted(by_key.items()):
+            open_spec = False
+            committed = False
+
+            def _blame(detail: str, event: Any) -> None:
+                violations.append(
+                    InvariantViolation(
+                        invariant="speculation-safety",
+                        domain=event.domain,
+                        detail=f"{node} slot {slot}: {detail}",
+                    )
+                )
+
+            for event in events:
+                if event.kind == "spec:deliver":
+                    if committed:
+                        _blame("speculatively re-delivered after commit", event)
+                    elif open_spec:
+                        _blame(
+                            "speculatively delivered twice without a rollback",
+                            event,
+                        )
+                    else:
+                        open_spec = True
+                elif event.kind == "spec:rollback":
+                    if committed or not open_spec:
+                        _blame("rollback without an open speculation", event)
+                        continue
+                    open_spec = False
+                    decide_seq = final_decide.get((node, slot))
+                    if decide_seq is not None and decide_seq < event.seq:
+                        _blame(
+                            "rolled back after the slot's in-order delivery",
+                            event,
+                        )
+                elif event.kind == "spec:commit":
+                    if committed or not open_spec:
+                        _blame("commit without an open speculation", event)
+                    else:
+                        open_spec = False
+                        committed = True
+            if open_spec and not committed:
+                dangling.add(node)
+        violations += self._check_speculative_state_replay(dangling)
+        return violations
+
+    def _check_speculative_state_replay(
+        self, skip_nodes: Set[str]
+    ) -> List[InvariantViolation]:
+        """Final replica state == serial in-order replay of its committed log."""
+        from repro.ledger.state import StateStore
+
+        violations: List[InvariantViolation] = []
+        application = getattr(self.deployment, "application", None)
+        if application is None:
+            return violations
+        for domain in self.hierarchy.height1_domains():
+            for node in self.deployment.nodes_of(domain.id):
+                if node.ledger is None or node.state is None:
+                    continue
+                if node.address in skip_nodes:
+                    continue
+                fresh = StateStore(
+                    name=f"replay:{node.address}", shards=node.state.shard_count
+                )
+                application.initialize_domain(domain, fresh)
+                for record in node.ledger:
+                    if record.entry.status is not TransactionStatus.COMMITTED:
+                        continue
+                    application.execute(record.entry.transaction, fresh, domain.id)
+                if fresh.snapshot() != node.state.snapshot():
+                    violations.append(
+                        InvariantViolation(
+                            invariant="speculation-safety",
+                            domain=domain.id.name,
+                            detail=(
+                                f"{node.address}: final state differs from a "
+                                "serial in-order replay of its committed "
+                                "ledger entries"
+                            ),
+                        )
+                    )
         return violations
 
     # ------------------------------------------------------------------ liveness

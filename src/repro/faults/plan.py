@@ -26,6 +26,12 @@ Supported action kinds (:data:`FAULT_KINDS`):
 ``stale-cert``
     The node replays its latest certified ``prepared`` message with a stale
     sequence number once, at ``at_ms``.
+``stall``
+    Every node of ``domain`` defers the local decision of every
+    ``every``-th consensus slot by ``delay_ms`` (a slow disk flush, a GC
+    pause) — later slots keep deciding, leaving the delivery gap the
+    speculation machinery executes across.  Benign: no node is faulty, so
+    liveness expectations are unchanged.  Ends at ``until_ms`` when given.
 
 Example::
 
@@ -56,6 +62,7 @@ FAULT_KINDS: Tuple[str, ...] = (
     "silence",
     "equivocate",
     "stale-cert",
+    "stall",
 )
 
 #: Kinds that require the adversary switchboard on the target node.
@@ -85,6 +92,8 @@ class FaultAction:
     until_ms: Optional[float] = None
     peer_domain: Optional[str] = None
     rate: Optional[float] = None
+    every: Optional[int] = None
+    delay_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -121,6 +130,19 @@ class FaultAction:
         if self.kind == "loss":
             if self.rate is None or not 0.0 <= self.rate < 1.0:
                 raise ConfigurationError("loss: rate must be given and in [0, 1)")
+        if self.kind == "stall":
+            if self.domain is None:
+                raise ConfigurationError("stall: a target domain is required")
+            _parse_domain(self.domain, self.kind)
+            if (
+                self.every is None
+                or isinstance(self.every, bool)
+                or not isinstance(self.every, int)
+                or self.every < 1
+            ):
+                raise ConfigurationError("stall: every must be an int >= 1")
+            if self.delay_ms is None or not self.delay_ms > 0:
+                raise ConfigurationError("stall: delay_ms must be positive")
 
     def domain_id(self) -> DomainId:
         assert self.domain is not None
@@ -204,6 +226,8 @@ class FaultPlan:
             elif action.kind in ("partition", "heal"):
                 pairs = self._resolve_links(deployment, action)
                 self._arm_link_action(simulator, network, pairs, action, network_trace)
+            elif action.kind == "stall":
+                self._arm_stall_action(simulator, deployment, action)
             else:  # loss
                 self._arm_loss_action(
                     simulator, network, action, network_trace, loss_state
@@ -306,6 +330,37 @@ class FaultPlan:
                 simulator.schedule_at(action.until_ms, _heal, label=label + ":heal")
         else:
             simulator.schedule_at(action.at_ms, _heal, label=label)
+
+    def _arm_stall_action(
+        self, simulator: Any, deployment: Any, action: FaultAction
+    ) -> None:
+        domain_id = action.domain_id()
+        try:
+            nodes = deployment.nodes_of(domain_id)
+        except (UnknownDomainError, KeyError) as exc:
+            raise ConfigurationError(
+                f"{action.kind}: unknown domain {action.domain!r}"
+            ) from exc
+
+        def _start() -> None:
+            for node in nodes:
+                node.record_trace(
+                    "fault:stall", every=action.every, delay_ms=action.delay_ms
+                )
+                node.engine.arm_slot_stall(action.every, action.delay_ms)
+
+        def _stop() -> None:
+            for node in nodes:
+                node.record_trace("fault:stall-end")
+                node.engine.disarm_slot_stall()
+
+        simulator.schedule_at(
+            action.at_ms, _start, label=f"fault:stall:{action.domain}"
+        )
+        if action.until_ms is not None:
+            simulator.schedule_at(
+                action.until_ms, _stop, label=f"fault:stall-end:{action.domain}"
+            )
 
     def _arm_loss_action(
         self,

@@ -30,6 +30,12 @@ Modes (the dispatch is table-driven; add a mode by adding one entry):
     zipf-sweep run plus hostile scenarios with controllers resizing batches,
     2PC groups, and the shard -> lane map online — proving every safety
     invariant holds while the knobs move mid-run.
+``pipeline``
+    Speculative out-of-order execution armed (``speculation=True``): a
+    scaled pipeline-sweep run whose stalled slots force speculation to
+    fire, plus hostile equivocation and crash-recovery runs with
+    speculation on — proving in-order commit, rollback, and the
+    speculation-safety invariant survive adversaries mid-speculation.
 ``perf``
     The simulator speed and parallel-runner guarantees: the events/sec
     microbenchmark (the calendar queue must beat the retained legacy heap on
@@ -100,6 +106,37 @@ def _control_checks() -> List[Scenario]:
     ]
 
 
+def _pipeline_checks() -> List[Scenario]:
+    from repro.faults.plan import FaultAction, FaultPlan
+
+    base = registry.get("pipeline-sweep-on").with_overrides(
+        num_transactions=120, num_clients=24
+    )
+    # Layer hostile actions on top of the stall plan: the stalls keep
+    # opening delivery gaps (so speculation genuinely fires), while the
+    # adversary equivocates or crashes nodes mid-speculation.
+    equivocating = FaultPlan(
+        name="pipeline-equivocate",
+        actions=base.fault_plan.actions
+        + (FaultAction(kind="equivocate", at_ms=10.0, domain="D11", until_ms=800.0),),
+    )
+    crashing = FaultPlan(
+        name="pipeline-crash",
+        actions=base.fault_plan.actions
+        + (
+            FaultAction(kind="crash", at_ms=100.0, domain="D12", node=2),
+            FaultAction(kind="recover", at_ms=500.0, domain="D12", node=2),
+        ),
+    )
+    return [
+        registry.get("pipeline-sweep-on").with_overrides(
+            num_transactions=200, num_clients=40
+        ),
+        base.with_overrides(name="pipeline-equivocate", fault_plan=equivocating),
+        base.with_overrides(name="pipeline-crash", fault_plan=crashing),
+    ]
+
+
 #: mode name -> scenario list factory (the whole dispatch table).
 MODES: Dict[str, Callable[[], List[Scenario]]] = {
     "default": _default_checks,
@@ -107,6 +144,7 @@ MODES: Dict[str, Callable[[], List[Scenario]]] = {
     "xbatch": _xbatch_checks,
     "shard": _shard_checks,
     "control": _control_checks,
+    "pipeline": _pipeline_checks,
 }
 
 #: CI gate for the in-process queue comparison.  The local ratio is ~1.5-2x;
@@ -175,6 +213,11 @@ def main(mode: str = "default") -> int:
             )
         if scenario.control.enabled:
             knobs += f" control={scenario.control.policy}"
+        if scenario.speculation:
+            spec_count = (
+                len(trace.events_with_prefix("spec:")) if trace is not None else 0
+            )
+            knobs += f" speculation=on spec_events={spec_count}"
         print(
             f"{scenario.name}: committed={run.summary.committed} "
             f"aborted={run.summary.aborted} pending={run.summary.pending} "

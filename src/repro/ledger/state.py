@@ -292,6 +292,19 @@ class StateStore:
             self.put(key, None)
             del self._data[key]
 
+    def remove(self, key: str) -> None:
+        """Remove ``key``, logging a ``None`` tombstone write first.
+
+        Used by speculative rollback to unwind a write that *created* a key:
+        the version counter keeps advancing (exactly as :meth:`restore` does
+        for removed keys) so deltas computed across the rollback still
+        observe the key.
+        """
+        if key not in self._data:
+            raise StateError(f"{self._name}: unknown key {key!r}")
+        self.put(key, None)
+        del self._data[key]
+
     def totals(self, prefix: str = "") -> float:
         """Sum of all numeric values whose key starts with ``prefix``."""
         return sum(

@@ -153,6 +153,15 @@ class ScenarioBuilder:
         )
         return self
 
+    def speculation(self, enabled: bool = True) -> "ScenarioBuilder":
+        """Arm speculative out-of-order execution with in-order commit.
+
+        ``speculation()`` turns it on; ``speculation(False)`` is the inert
+        default (bit-identical to the pre-speculation engine).
+        """
+        self._fields["speculation"] = enabled
+        return self
+
     def control(
         self,
         policy_or_spec: Union[str, ControlPolicy] = "adaptive",

@@ -48,6 +48,9 @@ __all__ = [
     "BATCH_SWEEP_SCENARIOS",
     "SHARD_SWEEP_SIZES",
     "SHARD_SWEEP_SCENARIOS",
+    "PIPELINE_STALL_EVERY",
+    "PIPELINE_STALL_DELAY_MS",
+    "PIPELINE_SWEEP_SCENARIOS",
     "ZIPF_SWEEP_BATCHES",
     "ZIPF_SWEEP_SCENARIOS",
     "SCALE100_DOMAINS",
@@ -427,6 +430,78 @@ _register_shard_sweep()
 
 
 # ---------------------------------------------------------------------------
+# Pipelined-slots sweep (the fig_pipeline scenario family)
+# ---------------------------------------------------------------------------
+
+#: Every n-th consensus slot is stalled at decide time in the pipeline sweep.
+PIPELINE_STALL_EVERY = 3
+
+#: How long a stalled slot's decision is deferred.  Deliberately below the
+#: engines' 150 ms gap-recovery timeout and the default view-change timers,
+#: so the stall manifests purely as an in-order head-of-line blocking gap —
+#: no recovery machinery fires, and the only way to use the window is
+#: speculative out-of-order execution.
+PIPELINE_STALL_DELAY_MS = 60.0
+
+
+def _register_pipeline_sweep() -> None:
+    """The speculation sweep: the sharded fig13 topology with stalled slots.
+
+    Derived from the ``shard-sweep-s016`` base (BFT domains, LAN profile,
+    |p| = 7, ``batch_size=32``, 16 shards over 16 lanes, saturating
+    closed-loop load) with two changes: execution is expensive
+    (``execute_ms=1.0``, so a 32-entry batch costs real simulated time to
+    apply) and a ``stall`` fault defers every third slot's decision by 60 ms
+    on every height-1 domain.  With in-order delivery the stall serialises:
+    every batch decided behind the gap waits, then all of them execute
+    back-to-back.  With ``speculation`` armed, decided batches whose shard
+    footprints are disjoint from the gap execute *during* the stall window
+    and merely commit in order afterwards — the classic out-of-order
+    pipeline.  ``pipeline-sweep`` aliases the speculation-off point.
+    """
+    stall_actions = tuple(
+        FaultAction(
+            kind="stall",
+            at_ms=10.0,
+            domain=name,
+            every=PIPELINE_STALL_EVERY,
+            delay_ms=PIPELINE_STALL_DELAY_MS,
+        )
+        for name in ("D11", "D12", "D13", "D14")
+    )
+    base = get("shard-sweep-s016").with_overrides(
+        name="pipeline-sweep",
+        # Narrow footprints are what makes out-of-order slots independent:
+        # a 2-entry batch declares at most 4 keys, so over 256 account
+        # shards two batches are usually disjoint — a 32-entry batch over
+        # 16 shards (the shard-sweep shape) touches every shard and nothing
+        # could ever speculate past it.  Contention is off for the same
+        # reason: hot accounts are shared shards.
+        state_shards=256,
+        batch_size=2,
+        contention_ratio=0.0,
+        # Execution-heavy: applying a decided batch costs real simulated
+        # time, so the serial post-stall pileup is what the off-run pays
+        # and what speculation hides inside the stall window.
+        execute_ms=12.0,
+        num_transactions=800,
+        fault_plan=FaultPlan(name="pipeline-stall", actions=stall_actions),
+    )
+    register("pipeline-sweep", base)
+    register(
+        "pipeline-sweep-off",
+        base.with_overrides(name="pipeline-sweep-off", speculation=False),
+    )
+    register(
+        "pipeline-sweep-on",
+        base.with_overrides(name="pipeline-sweep-on", speculation=True),
+    )
+
+
+_register_pipeline_sweep()
+
+
+# ---------------------------------------------------------------------------
 # Zipf control sweep (the fig_control scenario family)
 # ---------------------------------------------------------------------------
 
@@ -584,6 +659,12 @@ BATCH_SWEEP_SCENARIOS: Tuple[str, ...] = tuple(
 #: Registered shard-sweep scenarios (swept by the fig_shard benchmark).
 SHARD_SWEEP_SCENARIOS: Tuple[str, ...] = tuple(
     f"shard-sweep-s{shards:03d}" for shards in SHARD_SWEEP_SIZES
+)
+
+#: Registered pipeline-sweep scenarios (swept by the fig_pipeline benchmark).
+PIPELINE_SWEEP_SCENARIOS: Tuple[str, ...] = (
+    "pipeline-sweep-off",
+    "pipeline-sweep-on",
 )
 
 #: Registered zipf-sweep scenarios (swept by the fig_control benchmark):

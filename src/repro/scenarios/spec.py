@@ -442,6 +442,12 @@ class Scenario:
     #: authenticated storage) dial this up so the lanes, not the ordering
     #: messages, are what saturates a node.  ``None`` keeps the defaults.
     execute_ms: Optional[float] = None
+    #: Arms speculative out-of-order execution with in-order commit: while a
+    #: decided slot is stuck undelivered, engines speculatively apply later
+    #: decided slots with disjoint shard footprints and roll back on
+    #: conflict.  ``False`` (the default) is bit-identical to the
+    #: pre-speculation engine.
+    speculation: bool = False
     control: ControlPolicy = field(default_factory=ControlPolicy)
 
     def __post_init__(self) -> None:
@@ -518,6 +524,8 @@ class Scenario:
                 raise ConfigurationError(
                     "execute_ms must be positive and finite when given"
                 )
+        if not isinstance(self.speculation, bool):
+            raise ConfigurationError("speculation must be a bool")
         if isinstance(self.control, Mapping):
             object.__setattr__(self, "control", ControlPolicy.from_dict(self.control))
         if not isinstance(self.control, ControlPolicy):
@@ -570,6 +578,7 @@ class Scenario:
             xdomain_batch_timeout_ms=self.xdomain_batch_timeout_ms,
             state_shards=self.state_shards,
             execution_lanes=self.execution_lanes,
+            speculation=self.speculation,
             control=self.control,
         )
 
@@ -681,6 +690,7 @@ class Scenario:
             "state_shards": self.state_shards,
             "execution_lanes": self.execution_lanes,
             "execute_ms": self.execute_ms,
+            "speculation": self.speculation,
             "control": self.control.to_dict(),
         }
 
@@ -744,6 +754,8 @@ class Scenario:
             )
         if self.execute_ms is not None:
             lines.append(f"  execution: execute_ms={self.execute_ms:g}")
+        if self.speculation:
+            lines.append("  speculation: on")
         if workload.zipf_skew > 0:
             lines.append(f"  zipf: skew={workload.zipf_skew:g}")
         if self.control.enabled:

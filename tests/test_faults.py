@@ -22,6 +22,8 @@ class TestFaultActionValidation:
                 kwargs["peer_domain"] = "D21"
             if kind == "loss":
                 kwargs = {"kind": kind, "at_ms": 1.0, "rate": 0.1}
+            if kind == "stall":
+                kwargs.update(every=3, delay_ms=10.0)
             assert FaultAction(**kwargs).kind == kind
 
     def test_unknown_kind_is_rejected(self):
