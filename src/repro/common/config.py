@@ -230,6 +230,19 @@ class DeploymentConfig:
     appends, replies, metrics) still happen strictly in slot order at commit
     time; ``speculation=False`` (the default) is bit-identical to the
     pre-speculation engine.
+
+    ``durability`` arms the crash-recovery subsystem: every node keeps a
+    simulated :class:`~repro.recovery.wal.WriteAheadLog` of its
+    consensus-critical durable facts (votes, decided slots, ledger appends),
+    each synchronous append charging ``wal_sync_ms`` on the protocol CPU, and
+    height-1 replicas take a certified checkpoint (state snapshot bound to a
+    Merkle state root under a quorum certificate) every
+    ``checkpoint_interval`` decided slots, truncating the log.  A ``wipe``
+    fault then models an amnesia crash: the node discards all volatile state
+    and on recovery replays its WAL from the last checkpoint, catches up from
+    peers, and rejoins consensus without ever contradicting a WAL-covered
+    vote.  ``durability=False`` (the default) builds none of this and is
+    bit-identical to the pre-durability deployment.
     """
 
     hierarchy: HierarchySpec = field(default_factory=HierarchySpec)
@@ -247,6 +260,9 @@ class DeploymentConfig:
     state_shards: int = 1
     execution_lanes: int = 1
     speculation: bool = False
+    durability: bool = False
+    wal_sync_ms: float = 0.05
+    checkpoint_interval: int = 32
     control: ControlPolicy = field(default_factory=ControlPolicy)
 
     def __post_init__(self) -> None:
@@ -264,6 +280,12 @@ class DeploymentConfig:
             raise ConfigurationError("execution_lanes must be >= 1")
         if not isinstance(self.speculation, bool):
             raise ConfigurationError("speculation must be a bool")
+        if not isinstance(self.durability, bool):
+            raise ConfigurationError("durability must be a bool")
+        if self.wal_sync_ms < 0:
+            raise ConfigurationError("wal_sync_ms must be non-negative")
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be >= 1")
         if not isinstance(self.control, ControlPolicy):
             raise ConfigurationError(
                 f"control must be a ControlPolicy, got {type(self.control).__name__}"

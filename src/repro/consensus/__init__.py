@@ -9,6 +9,8 @@ from repro.consensus.base import (
     payload_digest_of,
 )
 from repro.consensus.messages import (
+    CatchUpQuery,
+    CatchUpReply,
     ConsensusMessage,
     NewView,
     PaxosAccept,
@@ -40,6 +42,8 @@ __all__ = [
     "ConsensusHost",
     "DecisionLog",
     "payload_digest_of",
+    "CatchUpQuery",
+    "CatchUpReply",
     "ConsensusMessage",
     "NewView",
     "PaxosAccept",

@@ -24,9 +24,10 @@ import abc
 from typing import Any, Callable, Dict, Iterator, List, Optional, Protocol, Set, Tuple
 
 from repro.common.types import DomainId, FailureModel, TransactionKind
-from repro.consensus.messages import SlotStatusQuery
+from repro.consensus.messages import CatchUpQuery, CatchUpReply, SlotStatusQuery
 from repro.crypto.digests import digest
 from repro.errors import ConsensusError, NotPrimaryError
+from repro.recovery.wal import WalRecord
 from repro.topology.domain import Domain
 
 __all__ = [
@@ -37,14 +38,23 @@ __all__ = [
     "Batcher",
     "payload_digest_of",
     "GAP_RECOVERY_MS",
+    "GAP_RECOVERY_MAX_MS",
     "DEFAULT_BATCH_TIMEOUT_MS",
 ]
 
 #: How long a delivery gap (decided-but-undeliverable slots) may persist
 #: before the engine asks its peers for the missing decision.  Long enough
 #: that ordinary out-of-order decides never trigger a query; short enough
-#: that a lost vote does not wedge a domain.
+#: that a lost vote does not wedge a domain.  This is the *first* delay of
+#: the per-gap backoff: each further query for the same stuck gap head
+#: doubles the wait, up to :data:`GAP_RECOVERY_MAX_MS`.
 GAP_RECOVERY_MS = 150.0
+
+#: Cap on the per-gap retransmission backoff.  A gap that survives several
+#: queries means the peers holding the decision are down or partitioned;
+#: re-querying faster than they can come back just multiplies messages, but
+#: the cap keeps the domain probing often enough to unwedge promptly.
+GAP_RECOVERY_MAX_MS = 1200.0
 
 #: How long an underfilled batch may wait for more payloads before it is
 #: proposed anyway.  Short next to the consensus round trip, so batching
@@ -415,6 +425,45 @@ class DecisionLog:
             self._delivered.append((current, value))
             self._deliver(current, value)
 
+    # -- crash recovery ------------------------------------------------------
+
+    def rehydrate(self, slot: int, payload: Any) -> List[Tuple[int, Any]]:
+        """Re-mark ``slot`` decided *without* re-delivering it.
+
+        WAL replay: the slot's delivery-time effects (ledger appends,
+        executions) are replayed from their own WAL records, so contiguous
+        rehydrated slots advance the watermark silently.  Returns the slots
+        that advanced, so the engine can restore its per-entry delivery
+        counter.  Slots past a gap stay pending exactly as they were at the
+        crash — their delivery (with callbacks) happens when catch-up or
+        normal traffic closes the gap.
+        """
+        advanced: List[Tuple[int, Any]] = []
+        if self.is_decided(slot):
+            return advanced
+        self._decided[slot] = payload
+        while self._next_to_deliver in self._decided:
+            current = self._next_to_deliver
+            value = self._decided.pop(current)
+            self._next_to_deliver += 1
+            self._delivered.append((current, value))
+            advanced.append((current, value))
+        return advanced
+
+    def resume_from(self, slot: int) -> None:
+        """Fast-forward delivery to just past ``slot`` (restored checkpoint).
+
+        Slots at or below ``slot`` are covered by the checkpoint's ledger
+        prefix; their payloads are unknown, so they are marked delivered
+        with a ``None`` placeholder — :meth:`payload_of` reports them as
+        unavailable and the node simply cannot serve peers those slots
+        (the checkpoint itself stands in for them).
+        """
+        while self._next_to_deliver <= slot:
+            payload = self._decided.pop(self._next_to_deliver, None)
+            self._delivered.append((self._next_to_deliver, payload))
+            self._next_to_deliver += 1
+
 
 class _SpeculatedSlot:
     """One speculatively applied slot: its payload, footprint, and undo.
@@ -471,6 +520,15 @@ class ConsensusEngine(abc.ABC):
         self._stall_delay_ms = 0.0
         self._stalled_slots: Set[int] = set()
         self._stall_released: Set[int] = set()
+        #: Durability (write-ahead logging + periodic certified checkpoints).
+        #: Off by default; when off every WAL hook is one attribute check
+        #: and the engine is bit-identical to the pre-durability one.
+        self._durability_enabled = bool(getattr(config, "durability", False))
+        self._checkpoint_interval = int(getattr(config, "checkpoint_interval", 32))
+        #: Gap-recovery backoff state: the stuck gap head the last query was
+        #: sent for, and how many queries that same head has survived.
+        self._gap_head = 0
+        self._gap_fires = 0
         self.batcher = Batcher(
             self,
             batch_size=getattr(config, "batch_size", 1),
@@ -500,6 +558,16 @@ class ConsensusEngine(abc.ABC):
     @property
     def decided_count(self) -> int:
         return self._log.next_slot_to_deliver - 1
+
+    @property
+    def next_undelivered_slot(self) -> int:
+        """First slot not yet delivered to the host (catch-up's cursor)."""
+        return self._log.next_slot_to_deliver
+
+    @property
+    def delivery_seq(self) -> int:
+        """Per-entry delivery counter (checkpointed so recovery resumes it)."""
+        return self._delivery_seq
 
     @property
     def quorum(self) -> int:
@@ -597,6 +665,40 @@ class ConsensusEngine(abc.ABC):
         for peer in self._host.domain_peer_addresses():
             self._host.send_protocol_message(peer, message)
 
+    def _wal_log(
+        self,
+        kind: str,
+        slot: int = 0,
+        view: Optional[int] = None,
+        payload_digest: Optional[bytes] = None,
+        payload: Any = None,
+        position: int = 0,
+    ) -> None:
+        """Append one durable fact to the host's WAL, charging the sync cost.
+
+        No-op on hosts without a WAL (durability off, bare test hosts), so
+        every protocol call site can log unconditionally.  The fsync cost
+        lands on the protocol CPU — the same queue message handling uses —
+        which is exactly how durable consensus pays for its logging.
+        """
+        wal = getattr(self._host, "wal", None)
+        if wal is None:
+            return
+        wal.append(
+            WalRecord(
+                kind=kind,
+                slot=slot,
+                view=self._view if view is None else view,
+                digest=payload_digest,
+                payload=payload,
+                position=position,
+            )
+        )
+        if wal.sync_ms > 0:
+            cpu = getattr(self._host, "cpu", None)
+            if cpu is not None:
+                cpu.submit(self._host.now(), wal.sync_ms)
+
     def _observe_slot(self, slot: int) -> None:
         """Keep the slot counter ahead of anything observed from the primary."""
         if slot >= self._next_slot:
@@ -628,6 +730,7 @@ class ConsensusEngine(abc.ABC):
             return
         if not self._log.is_decided(slot):
             self._trace("decide", slot=slot, payload=payload)
+            self._wal_log("decide", slot=slot, payload=payload)
             if self._spec_records:
                 # A missing earlier slot just decided: unwind any speculated
                 # later slot whose footprint overlaps the *actual* decided
@@ -836,6 +939,12 @@ class ConsensusEngine(abc.ABC):
         finally:
             if opened:
                 self._host.close_execution_window()
+        if self._durability_enabled and slot % self._checkpoint_interval == 0:
+            # Checkpoint cadence counts *delivered* slots, so every replica
+            # cuts at the same slots and certifies the same state roots.
+            take = getattr(self._host, "take_checkpoint", None)
+            if take is not None:
+                take(slot, self._view)
 
     def is_decided(self, slot: int) -> bool:
         return self._log.is_decided(slot)
@@ -849,20 +958,35 @@ class ConsensusEngine(abc.ABC):
         closes within a round trip; one that persists means the votes or the
         proposal for the missing slot were lost, and nothing in the normal
         case would ever retransmit them.
+
+        The delay backs off per gap: the first query for a stuck head waits
+        :data:`GAP_RECOVERY_MS`, and each further query for the *same* head
+        doubles the wait up to :data:`GAP_RECOVERY_MAX_MS`.  The counter
+        resets as soon as the head advances, so a fresh gap always probes at
+        the base rate while a long-dead peer is not flooded with queries it
+        cannot answer.
         """
         if not self._log.has_gap:
             return
         if self._recovery_timer is not None and self._recovery_timer.active:
             return
-        self._recovery_timer = self._host.set_timer(
-            GAP_RECOVERY_MS, self._recover_gap
-        )
+        head = self._log.next_slot_to_deliver
+        if head != self._gap_head:
+            self._gap_head = head
+            self._gap_fires = 0
+        delay = min(GAP_RECOVERY_MS * (2 ** self._gap_fires), GAP_RECOVERY_MAX_MS)
+        self._recovery_timer = self._host.set_timer(delay, self._recover_gap)
 
     def _recover_gap(self) -> None:
         self._recovery_timer = None
         if not self._log.has_gap:
             return
         missing = self._log.next_slot_to_deliver
+        if missing == self._gap_head:
+            self._gap_fires += 1
+        else:
+            self._gap_head = missing
+            self._gap_fires = 1
         self._trace("gap-query", slot=missing)
         self._broadcast(
             SlotStatusQuery(
@@ -900,3 +1024,115 @@ class ConsensusEngine(abc.ABC):
     def _decide_echo(self, slot: int, payload: Any) -> Any:
         """The engine-specific decided-slot echo message."""
         raise NotImplementedError
+
+    # -- crash recovery ----------------------------------------------------------------
+
+    def _handle_recovery(self, message: Any, sender: str) -> bool:
+        """Shared handling of the catch-up messages; engines call this first."""
+        if isinstance(message, CatchUpQuery):
+            self._serve_catchup(message, sender)
+            return True
+        if isinstance(message, CatchUpReply):
+            manager = getattr(self._host, "recovery", None)
+            if manager is not None:
+                manager.on_reply(message)
+            return True
+        return False
+
+    def _serve_catchup(self, message: CatchUpQuery, sender: str) -> None:
+        """Answer a recovering peer: checkpoint (if it helps) + decided run.
+
+        The decided run starts at the requester's first needed slot (or just
+        past the offered checkpoint) and stops at the first slot this node
+        cannot produce a payload for — delivery is gap-free, so that only
+        happens below our own restored checkpoint, which the offered
+        checkpoint covers anyway.
+        """
+        first_needed = message.slot
+        checkpoint = getattr(self._host, "durable_checkpoint", None)
+        if checkpoint is not None and checkpoint.slot < first_needed:
+            checkpoint = None  # the requester is already past it
+        start = first_needed if checkpoint is None else checkpoint.slot + 1
+        decided: List[Tuple[int, Any]] = []
+        slot = start
+        while slot < self._log.next_slot_to_deliver:
+            payload = self._log.payload_of(slot)
+            if payload is None:
+                break
+            decided.append((slot, payload))
+            slot += 1
+        certificate = getattr(checkpoint, "certificate", None)
+        verify_count = 1 + (
+            len(certificate.signatures) if certificate is not None else 0
+        )
+        reply = CatchUpReply(
+            domain=self._domain.id,
+            view=self._view,
+            slot=first_needed,
+            sender=self._host.address,
+            checkpoint=checkpoint,
+            decided=tuple(decided),
+            latest_slot=self._log.next_slot_to_deliver - 1,
+            verify_count=verify_count,
+            size_kb=0.2
+            + 0.05 * len(decided)
+            + (1.0 if checkpoint is not None else 0.0),
+        )
+        self._host.send_protocol_message(sender, reply)
+        self._trace(
+            "catchup-serve",
+            slot=first_needed,
+            count=len(decided),
+            checkpoint_slot=checkpoint.slot if checkpoint is not None else 0,
+            peer=sender,
+        )
+
+    def rehydrate_decision(self, slot: int, payload: Any, view: int = 0) -> None:
+        """WAL replay of a ``decide`` record: re-mark without re-delivering.
+
+        Contiguous rehydrated slots silently advance the delivery watermark
+        (their appends replay from their own WAL records) and restore the
+        per-entry delivery counter; slots past a gap stay pending.
+        """
+        self._observe_slot(slot)
+        if view > self._view:
+            self._view = view
+        for _advanced_slot, value in self._log.rehydrate(slot, payload):
+            self._delivery_seq += len(value) if isinstance(value, Batch) else 1
+
+    def rehydrate_vote(self, record: WalRecord) -> None:
+        """WAL replay of a vote record: re-arm the promise it represents.
+
+        Engine-specific — restoring adopted payloads, sent commits, and
+        view votes is what makes a recovered node refuse to equivocate
+        against anything it voted for before the crash.
+        """
+        if record.slot:
+            self._observe_slot(record.slot)
+        self._rehydrate_vote(record)
+
+    def _rehydrate_vote(self, record: WalRecord) -> None:
+        """Engine-specific vote rehydration; the default drops the record."""
+
+    def resume_from(self, slot: int, view: int, delivery_seq: int = 0) -> None:
+        """Adopt a restored checkpoint's cut: delivery fast-forwards past it."""
+        self._observe_slot(slot)
+        if view > self._view:
+            self._view = view
+        self._log.resume_from(slot)
+        if delivery_seq > self._delivery_seq:
+            self._delivery_seq = delivery_seq
+
+    def adopt_decision(self, slot: int, payload: Any) -> None:
+        """Catch-up: adopt a decided slot through the normal delivery path.
+
+        Unlike rehydration this *delivers*: ledger appends, execution, and
+        component callbacks all run exactly as live traffic would run them.
+        """
+        self._observe_slot(slot)
+        self._record_decision(slot, payload)
+
+    def adopt_view(self, view: int) -> None:
+        """Adopt the view a caught-up node learned from its serving peer."""
+        if view > self._view:
+            self._view = view

@@ -18,6 +18,8 @@ from typing import Any, Optional, Tuple
 from repro.common.types import DomainId
 
 __all__ = [
+    "CatchUpQuery",
+    "CatchUpReply",
     "ConsensusMessage",
     "PaxosAccept",
     "PaxosAccepted",
@@ -120,6 +122,43 @@ class SlotStatusQuery(ConsensusMessage):
     """
 
     sender: str = ""
+
+
+# -- crash recovery / catch-up -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CatchUpQuery(ConsensusMessage):
+    """A recovering node asks one peer for everything it missed while down.
+
+    ``slot`` is the first slot the sender has *not* delivered; the peer
+    answers with a :class:`CatchUpReply` carrying its latest certified
+    checkpoint (when the sender is behind it) plus the decided payloads from
+    ``slot`` onward.  Sent to one peer at a time with a per-peer timeout,
+    exponential backoff, and peer rotation, so a dead or lagging peer cannot
+    stall recovery.
+    """
+
+    sender: str = ""
+
+
+@dataclass(frozen=True)
+class CatchUpReply(ConsensusMessage):
+    """A peer's answer to a :class:`CatchUpQuery`.
+
+    ``slot`` echoes the query's first-needed slot.  ``checkpoint`` is the
+    peer's latest certified checkpoint (or ``None`` when the requester is
+    already past it); ``decided`` is the ordered run of ``(slot, payload)``
+    decisions the peer can serve from its log; ``latest_slot`` is the last
+    slot the peer itself has delivered, so the requester knows when it has
+    caught up to this peer.  The requester verifies the checkpoint's quorum
+    certificate and recomputes its Merkle state root before applying anything.
+    """
+
+    sender: str = ""
+    checkpoint: Any = None
+    decided: Tuple[Tuple[int, Any], ...] = ()
+    latest_slot: int = 0
 
 
 # -- view change ------------------------------------------------------------------------

@@ -20,6 +20,7 @@ from repro.consensus.messages import (
     ViewChange,
 )
 from repro.errors import ConsensusError
+from repro.recovery.wal import WalRecord
 
 __all__ = ["PaxosEngine"]
 
@@ -42,6 +43,7 @@ class PaxosEngine(ConsensusEngine):
         self._proposals[slot] = payload
         self._accepted_payload[slot] = payload
         self._accept_votes.setdefault(slot, set()).add(self._host.address)
+        self._wal_log("accept-vote", slot=slot, payload=payload)
         self._trace("propose", slot=slot, payload=payload)
         self._trace("accept-vote", slot=slot, payload=payload)
         message = PaxosAccept(
@@ -78,6 +80,8 @@ class PaxosEngine(ConsensusEngine):
     def handle_message(self, message: Any, sender: str) -> bool:
         if self._handle_slot_query(message, sender):
             return True
+        if self._handle_recovery(message, sender):
+            return True
         if isinstance(message, PaxosAccept):
             self._on_accept(message, sender)
         elif isinstance(message, PaxosAccepted):
@@ -98,6 +102,13 @@ class PaxosEngine(ConsensusEngine):
         self._observe_slot(message.slot)
         self._accepted_payload[message.slot] = message.payload
         digest = self.payload_digest(message.payload)
+        self._wal_log(
+            "accept-vote",
+            slot=message.slot,
+            view=message.view,
+            payload_digest=digest,
+            payload=message.payload,
+        )
         self._trace(
             "accept-vote", slot=message.slot, payload=message.payload,
             payload_digest=digest,
@@ -141,6 +152,7 @@ class PaxosEngine(ConsensusEngine):
     def suspect_primary(self) -> None:
         """Vote to replace the current primary (crash suspected)."""
         target_view = self.view + 1
+        self._wal_log("view-vote", view=target_view)
         pending = self._undecided_pending()
         vote = ViewChange(
             domain=self.domain.id,
@@ -199,6 +211,7 @@ class PaxosEngine(ConsensusEngine):
         self._observe_slot(slot)
         self._accepted_payload[slot] = payload
         self._accept_votes.setdefault(slot, set()).add(self._host.address)
+        self._wal_log("accept-vote", slot=slot, payload=payload)
         self._trace("propose", slot=slot, payload=payload)
         self._trace("accept-vote", slot=slot, payload=payload)
         message = PaxosAccept(
@@ -213,3 +226,23 @@ class PaxosEngine(ConsensusEngine):
         self._view = message.view
         for slot, _payload in message.pending:
             self._observe_slot(slot)
+
+    # -- crash recovery ----------------------------------------------------------------
+
+    def _rehydrate_vote(self, record: WalRecord) -> None:
+        """Re-arm a WAL-covered Paxos promise after an amnesia crash.
+
+        Restoring ``_accepted_payload`` keeps every pre-crash accept: the
+        recovered node reports exactly those payloads as pending in any
+        later view change, so a value it helped a quorum accept can never
+        be silently forgotten.  Only the node's own vote is durable.
+        """
+        if record.kind == "accept-vote":
+            self._accepted_payload[record.slot] = record.payload
+            self._accept_votes.setdefault(record.slot, set()).add(
+                self._host.address
+            )
+        elif record.kind == "view-vote":
+            self._view_change_votes.setdefault(record.view, set()).add(
+                self._host.address
+            )

@@ -28,6 +28,7 @@ from repro.consensus.messages import (
     PbftPrepare,
     ViewChange,
 )
+from repro.recovery.wal import WalRecord
 
 __all__ = ["PbftEngine"]
 
@@ -58,6 +59,7 @@ class PbftEngine(ConsensusEngine):
         # The primary's pre-prepare counts as its prepare vote.
         digest = self.payload_digest(payload)
         self._prepare_votes.setdefault((slot, digest), set()).add(self._host.address)
+        self._wal_log("prepare-vote", slot=slot, payload_digest=digest, payload=payload)
         self._trace("propose", slot=slot, payload=payload, payload_digest=digest)
         message = PbftPrePrepare(
             domain=self.domain.id, view=self.view, slot=slot, payload=payload
@@ -88,6 +90,8 @@ class PbftEngine(ConsensusEngine):
 
     def handle_message(self, message: Any, sender: str) -> bool:
         if self._handle_slot_query(message, sender):
+            return True
+        if self._handle_recovery(message, sender):
             return True
         if isinstance(message, PbftPrePrepare):
             self._on_pre_prepare(message, sender)
@@ -132,6 +136,13 @@ class PbftEngine(ConsensusEngine):
         # The pre-prepare carries the primary's vote; add our own and tell peers.
         votes.add(sender)
         votes.add(self._host.address)
+        self._wal_log(
+            "prepare-vote",
+            slot=message.slot,
+            view=message.view,
+            payload_digest=digest,
+            payload=message.payload,
+        )
         self._trace(
             "prepare-vote",
             slot=message.slot,
@@ -169,6 +180,7 @@ class PbftEngine(ConsensusEngine):
             return
         self._commit_sent.add(slot)
         self._commit_votes.setdefault((slot, digest), set()).add(self._host.address)
+        self._wal_log("commit-vote", slot=slot, payload_digest=digest)
         self._trace(
             "commit-vote", slot=slot, payload=payload, payload_digest=digest
         )
@@ -266,6 +278,7 @@ class PbftEngine(ConsensusEngine):
     def suspect_primary(self) -> None:
         """Vote to move to the next view (primary suspected faulty)."""
         target_view = self.view + 1
+        self._wal_log("view-vote", view=target_view)
         pending = self._undecided_pending()
         vote = ViewChange(
             domain=self.domain.id,
@@ -325,6 +338,7 @@ class PbftEngine(ConsensusEngine):
         self._adopt_payload(slot, payload, self.view)
         digest = self.payload_digest(payload)
         self._prepare_votes.setdefault((slot, digest), set()).add(self._host.address)
+        self._wal_log("prepare-vote", slot=slot, payload_digest=digest, payload=payload)
         self._trace("propose", slot=slot, payload=payload, payload_digest=digest)
         message = PbftPrePrepare(
             domain=self.domain.id, view=self.view, slot=slot, payload=payload
@@ -341,3 +355,36 @@ class PbftEngine(ConsensusEngine):
         }
         for slot, _payload in message.pending:
             self._observe_slot(slot)
+
+    # -- crash recovery --------------------------------------------------------------------
+
+    def _rehydrate_vote(self, record: WalRecord) -> None:
+        """Re-arm a WAL-covered promise after an amnesia crash.
+
+        Restoring the adopted payload (and its view) re-enables the existing
+        equivocation refusals in :meth:`_on_pre_prepare` and
+        :meth:`_on_decide_echo`: the recovered node holds exactly what it
+        held when it voted, so a conflicting proposal for the same (slot,
+        view) is refused just as it would have been before the crash.
+        Restoring ``_commit_sent`` keeps the node from re-voting commit for
+        a slot it already committed to in the current view; a later new-view
+        prunes it exactly as live operation does.  Only the node's *own*
+        votes are durable — peers' tallies re-form from live traffic.
+        """
+        if record.kind == "prepare-vote":
+            if record.payload is not None:
+                self._adopt_payload(record.slot, record.payload, record.view)
+            if record.digest is not None:
+                self._prepare_votes.setdefault(
+                    (record.slot, record.digest), set()
+                ).add(self._host.address)
+        elif record.kind == "commit-vote":
+            self._commit_sent.add(record.slot)
+            if record.digest is not None:
+                self._commit_votes.setdefault(
+                    (record.slot, record.digest), set()
+                ).add(self._host.address)
+        elif record.kind == "view-vote":
+            self._view_change_votes.setdefault(record.view, set()).add(
+                self._host.address
+            )

@@ -24,7 +24,7 @@ from repro.core.application import Application, ExecutionResult
 from repro.core.messages import ClientReply
 from repro.crypto.certificates import QuorumCertificate, Signer
 from repro.crypto.keys import KeyStore
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RecoveryError
 from repro.faults.behaviors import AdversaryControls
 from repro.faults.trace import TraceRecorder
 from repro.ledger.chain import LinearLedger
@@ -32,6 +32,14 @@ from repro.ledger.dag import DagLedger
 from repro.ledger.abstraction import SummarizedView
 from repro.ledger.state import StateStore
 from repro.ledger.transaction import CommittedEntry, Transaction
+from repro.recovery import (
+    Checkpoint,
+    RecoveryManager,
+    WalRecord,
+    WriteAheadLog,
+    checkpoint_digest,
+    state_root_of,
+)
 from repro.sim.cpu import CpuQueue, ExecutionLanes
 from repro.sim.network import Envelope, Network
 from repro.sim.simulator import Simulator, Timer
@@ -130,6 +138,19 @@ class SaguaroNode:
         self.control_bus: Optional[TelemetryBus] = (
             TelemetryBus(config.control.window) if config.control.enabled else None
         )
+        #: The durable side of the node — what an amnesia crash (``wipe``)
+        #: cannot destroy.  The WAL exists only on durable deployments; the
+        #: recovery manager always exists (a wiped node recovers through
+        #: peer catch-up even without a WAL, it just replays nothing).
+        self.wal: Optional[WriteAheadLog] = (
+            WriteAheadLog(self.address, config.wal_sync_ms)
+            if config.durability
+            else None
+        )
+        self.durable_checkpoint: Optional[Checkpoint] = None
+        self.recovery = RecoveryManager(self)
+        self._wipe_generation = 0
+        self._wiped_total = 0
         self.engine: ConsensusEngine = engine_for(self)
 
         self.ledger: Optional[LinearLedger] = None
@@ -201,17 +222,76 @@ class SaguaroNode:
             component.on_start()
 
     def crash(self) -> None:
-        """Simulate a crash: the network stops delivering to/from this node."""
+        """Simulate a crash: the network stops delivering to/from this node.
+
+        Crashing an already-crashed node is a traced no-op — fault plans and
+        schedules may race (two plans targeting one node, a wipe window
+        overlapping a crash window) and a duplicate crash must not disturb
+        the first one's recovery bookkeeping.
+        """
+        if self._crashed:
+            self.record_trace("fault:noop", action="crash", reason="already-crashed")
+            return
         self._crashed = True
         self.network.crash(self.address)
+        self.recovery.note_crashed()
+
+    def wipe(self) -> None:
+        """Amnesia crash: crash plus loss of every volatile structure.
+
+        Engine state (vote tallies, decision log, view), the ledger, the
+        state store, and the execution-dedup set are all rebuilt empty; the
+        durable store — WAL and latest checkpoint — and the node's network
+        identity survive.  Timers armed before the wipe are disarmed by the
+        generation guard in :meth:`set_timer`, so nothing belonging to the
+        discarded engine can fire into the rebuilt one.
+        """
+        if self._crashed:
+            self.record_trace("fault:noop", action="wipe", reason="already-crashed")
+            return
+        self._crashed = True
+        self.network.crash(self.address)
+        self._wipe_generation += 1
+        self._wiped_total += 1
+        self.cpu = CpuQueue()
+        self.spec_cpu = CpuQueue()
+        self.lanes = ExecutionLanes(self.config.execution_lanes)
+        self._lane_costs = None
+        self.shared = {}
+        self._executed = set()
+        if self._domain.height == 1:
+            self.ledger = LinearLedger(self._domain.id)
+            self.state = StateStore(
+                name=self.address, shards=self.config.state_shards
+            )
+            self.application.initialize_domain(self._domain, self.state)
+        else:
+            self.dag = DagLedger(self._domain.id)
+            self.summary = SummarizedView(self._domain.id)
+        self.engine = engine_for(self)
+        self.recovery.note_wiped()
 
     def recover(self) -> None:
+        """Rejoin the network; a wiped node also starts its recovery run.
+
+        Recovering a live node is a traced no-op (see :meth:`crash`).
+        """
+        if not self._crashed:
+            self.record_trace("fault:noop", action="recover", reason="not-crashed")
+            return
         self._crashed = False
         self.network.recover(self.address)
+        if self.recovery.pending:
+            self.recovery.begin()
 
     @property
     def crashed(self) -> bool:
         return self._crashed
+
+    @property
+    def wiped_total(self) -> int:
+        """How many amnesia crashes this node has suffered."""
+        return self._wiped_total
 
     # ------------------------------------------------------------------ endpoint
 
@@ -265,7 +345,16 @@ class SaguaroNode:
         return self.simulator.now
 
     def set_timer(self, delay_ms: float, callback: Callable[[], None]) -> Timer:
-        return self.simulator.set_timer(delay_ms, callback)
+        # Timers are bound to the wipe generation that armed them: one armed
+        # before an amnesia crash captured structures the wipe discarded, so
+        # firing it into the rebuilt engine would act on ghost state.
+        generation = self._wipe_generation
+
+        def guarded() -> None:
+            if self._wipe_generation == generation:
+                callback()
+
+        return self.simulator.set_timer(delay_ms, guarded)
 
     def consensus_decided(self, slot: int, payload: Any) -> None:
         for component in self.components:
@@ -372,6 +461,14 @@ class SaguaroNode:
         record = self.ledger.append_transaction(
             transaction, status=status, commit_time_ms=self.simulator.now
         )
+        if self.wal is not None:
+            self.wal.append(
+                WalRecord(
+                    kind="append", position=record.position, payload=record.entry
+                )
+            )
+            if self.wal.sync_ms > 0:
+                self.cpu.submit(self.simulator.now, self.wal.sync_ms)
         self.record_trace(
             "append",
             tid=transaction.tid,
@@ -539,6 +636,95 @@ class SaguaroNode:
         costs, self._lane_costs = self._lane_costs, None
         if costs:
             self._submit_execution_span(costs)
+
+    # ------------------------------------------------------------------ durability & recovery
+
+    def take_checkpoint(self, slot: int, view: int) -> Optional[Checkpoint]:
+        """Cut, certify, and install a durable checkpoint at delivered ``slot``.
+
+        Called by the engine every ``checkpoint_interval`` delivered slots on
+        durable deployments.  The cut binds the full state snapshot to its
+        Merkle root, certifies ``(domain, slot, root)`` with a quorum
+        certificate, and truncates every WAL record the cut now covers.
+        """
+        if self.wal is None or self.ledger is None or self.state is None:
+            return None
+        snapshot = self.state.snapshot()
+        root = state_root_of(snapshot)
+        certificate = self.certify(checkpoint_digest(self._domain.id, slot, root))
+        checkpoint = Checkpoint(
+            domain=self._domain.id,
+            slot=slot,
+            view=view,
+            state_root=root,
+            snapshot=snapshot,
+            ledger=tuple(self.ledger.entries()),
+            delivery_seq=self.engine.delivery_seq,
+            certificate=certificate,
+        )
+        self.durable_checkpoint = checkpoint
+        dropped = self.wal.truncate_through(slot, len(self.ledger))
+        if self.wal.sync_ms > 0:
+            self.cpu.submit(self.simulator.now, self.wal.sync_ms)
+        self.record_trace(
+            "recovery:checkpoint",
+            slot=slot,
+            digest=root,
+            wal_dropped=dropped,
+            ledger_length=len(self.ledger),
+        )
+        return checkpoint
+
+    def restore_from_checkpoint(
+        self, checkpoint: Checkpoint, adopt: bool = False
+    ) -> None:
+        """Install a checkpoint wholesale: state, ledger prefix, engine cursor.
+
+        Used for the node's *own* checkpoint during WAL replay, and (with
+        ``adopt=True``) for a verified peer checkpoint during catch-up, which
+        additionally becomes this node's durable checkpoint and truncates the
+        WAL records it covers.
+        """
+        if self.ledger is None or self.state is None:
+            raise RecoveryError(f"{self.address} is not a height-1 node")
+        if checkpoint.domain != self._domain.id:
+            raise RecoveryError(
+                f"{self.address}: checkpoint for {checkpoint.domain.name}, "
+                f"not {self._domain.id.name}"
+            )
+        self.state.restore(checkpoint.snapshot)
+        self.ledger = LinearLedger(self._domain.id)
+        self._executed = set()
+        for entry in checkpoint.ledger:
+            self.ledger.append(entry)
+            if entry.status is TransactionStatus.COMMITTED:
+                self._executed.add(entry.tid)
+        self.engine.resume_from(
+            checkpoint.slot, checkpoint.view, checkpoint.delivery_seq
+        )
+        if adopt:
+            self.durable_checkpoint = checkpoint
+            if self.wal is not None:
+                self.wal.truncate_through(checkpoint.slot, len(self.ledger))
+
+    def replay_ledger_entry(self, entry: CommittedEntry) -> None:
+        """Re-append one WAL-logged ledger entry during recovery replay.
+
+        The entry is appended verbatim — same sequence, status, and commit
+        time, hence the identical chain hash — and COMMITTED work is
+        re-executed against the restored state.  Metrics are deliberately
+        left alone: commit points live on the run-wide collector, which a
+        node crash does not wipe, so re-counting a replay would double-book.
+        """
+        if self.ledger is None or self.state is None:
+            raise RecoveryError(f"{self.address} is not a height-1 node")
+        self.ledger.append(entry)
+        if (
+            entry.status is TransactionStatus.COMMITTED
+            and entry.tid not in self._executed
+        ):
+            self._executed.add(entry.tid)
+            self.application.execute(entry.transaction, self.state, self._domain.id)
 
     # ------------------------------------------------------------------ metrics helpers
 

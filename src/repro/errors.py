@@ -26,6 +26,7 @@ __all__ = [
     "ConsensusError",
     "NotPrimaryError",
     "ViewChangeError",
+    "RecoveryError",
     "TransactionError",
     "TransactionAbortedError",
     "SimulationError",
@@ -101,6 +102,10 @@ class NotPrimaryError(ConsensusError):
 
 class ViewChangeError(ConsensusError):
     """A view change could not be completed."""
+
+
+class RecoveryError(ConsensusError):
+    """Crash recovery (WAL replay, checkpointing, catch-up) failed."""
 
 
 class TransactionError(SaguaroError):

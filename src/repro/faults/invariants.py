@@ -50,6 +50,16 @@ meaningful:
     in-order re-delivery, and each replica's final state is bit-identical
     to a fresh serial replay of its committed ledger entries in order.
     Checked only when the trace carries ``spec:*`` events.
+``recovery-safety``
+    Amnesia crashes (``wipe`` faults) never compromise agreement: the
+    ``recovery:replay`` / ``recovery:catchup`` / ``recovery:rejoin`` events
+    of every recovery are well-formed (replay precedes catch-up precedes
+    rejoin, and a node whose wipe is followed by a recover completes its
+    rejoin), a wiped node never casts conflicting votes for one
+    (slot, view) across a wipe boundary (the WAL-covered-promise property),
+    and every recovered replica's final state is bit-identical to a fresh
+    serial replay of its committed ledger entries.  Checked only when the
+    trace carries ``fault:wipe`` or ``recovery:*`` events.
 ``liveness`` (optional)
     Every issued transaction reached a final state (committed or aborted);
     checked only when the fault plan leaves each domain within its fault
@@ -156,6 +166,11 @@ class InvariantChecker:
             if self.trace.events_with_prefix("spec:"):
                 checks.append("speculation-safety")
                 violations += self._check_speculation_safety()
+            if self.trace.events("fault:wipe") or self.trace.events_with_prefix(
+                "recovery:"
+            ):
+                checks.append("recovery-safety")
+                violations += self._check_recovery_safety()
         if expect_liveness:
             checks.append("liveness")
             violations += self._check_liveness()
@@ -773,6 +788,179 @@ class InvariantChecker:
                                 f"{node.address}: final state differs from a "
                                 "serial in-order replay of its committed "
                                 "ledger entries"
+                            ),
+                        )
+                    )
+        return violations
+
+    # ------------------------------------------------------------------ recovery
+
+    def _check_recovery_safety(self) -> List[InvariantViolation]:
+        """Amnesia-crash recovery is complete, ordered, and never equivocates."""
+        violations: List[InvariantViolation] = []
+        violations += self._check_recovery_wellformed()
+        violations += self._check_wiped_promises()
+        violations += self._check_recovered_state_replay()
+        return violations
+
+    def _check_recovery_wellformed(self) -> List[InvariantViolation]:
+        """Recovery traces follow the wipe → replay → catch-up → rejoin shape.
+
+        Per node, in trace order: replay is only legal after a wipe (or as a
+        restart of an interrupted recovery), catch-up only after a replay,
+        rejoin only while recovering — and a node whose last wipe is followed
+        by a ``fault:recover`` must complete its rejoin before the run ends.
+        """
+        violations: List[InvariantViolation] = []
+        assert self.trace is not None
+        kinds = (
+            "fault:wipe",
+            "fault:recover",
+            "recovery:replay",
+            "recovery:catchup",
+            "recovery:rejoin",
+        )
+        by_node: Dict[str, List[Any]] = {}
+        for event in self.trace:
+            if event.kind in kinds and event.node is not None:
+                by_node.setdefault(event.node, []).append(event)
+
+        for node, events in sorted(by_node.items()):
+            events.sort(key=lambda event: event.seq)
+            stage = "idle"  # idle -> wiped -> recovering -> idle
+            last_wipe_seq = -1
+            last_recover_seq = -1
+
+            def _blame(detail: str, event: Any) -> None:
+                violations.append(
+                    InvariantViolation(
+                        invariant="recovery-safety",
+                        domain=event.domain,
+                        detail=f"{node}: {detail}",
+                    )
+                )
+
+            for event in events:
+                if event.kind == "fault:wipe":
+                    stage = "wiped"
+                    last_wipe_seq = event.seq
+                elif event.kind == "fault:recover":
+                    last_recover_seq = event.seq
+                elif event.kind == "recovery:replay":
+                    if stage == "idle":
+                        _blame("recovery:replay without a preceding wipe", event)
+                    else:
+                        # First replay of this recovery, or the restart of an
+                        # attempt an interleaved crash abandoned — both legal.
+                        stage = "recovering"
+                elif event.kind == "recovery:catchup":
+                    if stage != "recovering":
+                        _blame("recovery:catchup before any replay", event)
+                elif event.kind == "recovery:rejoin":
+                    if stage != "recovering":
+                        _blame("recovery:rejoin without replay/catch-up", event)
+                    stage = "idle"
+            if stage != "idle" and last_recover_seq > last_wipe_seq:
+                violations.append(
+                    InvariantViolation(
+                        invariant="recovery-safety",
+                        detail=(
+                            f"{node}: wiped and recovered but never reached "
+                            "recovery:rejoin"
+                        ),
+                    )
+                )
+        return violations
+
+    def _check_wiped_promises(self) -> List[InvariantViolation]:
+        """A wiped node never casts conflicting votes for one (slot, view).
+
+        The WAL-covered-promise property: across a wipe boundary the node's
+        own vote stream (prepare / commit / accept) must stay single-valued
+        per (kind, slot, view) — voting for a second digest after recovery
+        would mean the replayed log failed to re-arm a durable promise.
+        """
+        violations: List[InvariantViolation] = []
+        assert self.trace is not None
+        wiped = {
+            event.node for event in self.trace.events("fault:wipe") if event.node
+        }
+        if not wiped:
+            return violations
+        votes: Dict[Tuple[str, str, int, int], Set[str]] = {}
+        for event in self.trace:
+            if (
+                event.kind in ("prepare-vote", "commit-vote", "accept-vote")
+                and event.node in wiped
+                and event.digest is not None
+                and event.slot is not None
+                and event.view is not None
+            ):
+                key = (event.node, event.kind, event.slot, event.view)
+                votes.setdefault(key, set()).add(event.digest)
+        for (node, kind, slot, view), digests in sorted(votes.items()):
+            if len(digests) > 1:
+                violations.append(
+                    InvariantViolation(
+                        invariant="recovery-safety",
+                        detail=(
+                            f"{node} cast {kind} for {len(digests)} different "
+                            f"payloads in slot {slot} view {view}: "
+                            f"{sorted(d[:12] for d in digests)}"
+                        ),
+                    )
+                )
+        return violations
+
+    def _check_recovered_state_replay(self) -> List[InvariantViolation]:
+        """Recovered replica state == serial replay of its committed ledger.
+
+        Only replicas whose last recovery *completed* (a ``recovery:rejoin``
+        with no later wipe) are held to this — a replica that ends the run
+        wiped or mid-recovery legitimately lags.
+        """
+        from repro.ledger.state import StateStore
+
+        violations: List[InvariantViolation] = []
+        assert self.trace is not None
+        rejoined: Dict[str, int] = {}
+        for event in self.trace.events("recovery:rejoin"):
+            if event.node:
+                rejoined[event.node] = max(rejoined.get(event.node, -1), event.seq)
+        last_wipe: Dict[str, int] = {}
+        for event in self.trace.events("fault:wipe"):
+            if event.node:
+                last_wipe[event.node] = max(last_wipe.get(event.node, -1), event.seq)
+        targets = {
+            node for node, seq in rejoined.items() if seq > last_wipe.get(node, -1)
+        }
+        application = getattr(self.deployment, "application", None)
+        if application is None or not targets:
+            return violations
+        for domain in self.hierarchy.height1_domains():
+            for node in self.deployment.nodes_of(domain.id):
+                if node.address not in targets:
+                    continue
+                if node.ledger is None or node.state is None:
+                    continue
+                fresh = StateStore(
+                    name=f"recovery-replay:{node.address}",
+                    shards=node.state.shard_count,
+                )
+                application.initialize_domain(domain, fresh)
+                for record in node.ledger:
+                    if record.entry.status is not TransactionStatus.COMMITTED:
+                        continue
+                    application.execute(record.entry.transaction, fresh, domain.id)
+                if fresh.snapshot() != node.state.snapshot():
+                    violations.append(
+                        InvariantViolation(
+                            invariant="recovery-safety",
+                            domain=domain.id.name,
+                            detail=(
+                                f"{node.address}: post-recovery state differs "
+                                "from a serial replay of its committed ledger "
+                                "entries"
                             ),
                         )
                     )

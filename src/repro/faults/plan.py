@@ -11,6 +11,11 @@ Supported action kinds (:data:`FAULT_KINDS`):
 ``crash`` / ``recover``
     Crash (or un-crash) one node; ``node`` indexes the domain's node list and
     ``None`` targets the view-0 primary.
+``wipe``
+    Amnesia crash: like ``crash``, but the node additionally loses every
+    volatile structure (engine state, ledger, state store).  On recovery it
+    replays its write-ahead log and catches up from peers (see
+    :mod:`repro.recovery`).  A ``wipe`` with ``until_ms`` recovers itself.
 ``partition`` / ``heal``
     Cut (or restore) every network link between two domains.  A ``partition``
     with ``until_ms`` heals itself.
@@ -55,6 +60,7 @@ __all__ = ["FAULT_KINDS", "BYZANTINE_KINDS", "FaultAction", "FaultPlan"]
 
 FAULT_KINDS: Tuple[str, ...] = (
     "crash",
+    "wipe",
     "recover",
     "partition",
     "heal",
@@ -69,7 +75,7 @@ FAULT_KINDS: Tuple[str, ...] = (
 BYZANTINE_KINDS: Tuple[str, ...] = ("silence", "equivocate", "stale-cert")
 
 #: Kinds that take a single target node inside ``domain``.
-_NODE_KINDS = ("crash", "recover", "silence", "equivocate", "stale-cert")
+_NODE_KINDS = ("crash", "wipe", "recover", "silence", "equivocate", "stale-cert")
 
 
 def _parse_domain(name: str, what: str) -> DomainId:
@@ -272,6 +278,9 @@ class FaultPlan:
         if action.kind == "crash":
             start = lambda: (_trace("crash"), target.crash())
             stop = lambda: (_trace("recover"), target.recover())
+        elif action.kind == "wipe":
+            start = lambda: (_trace("wipe"), target.wipe())
+            stop = lambda: (_trace("recover"), target.recover())
         elif action.kind == "recover":
             start = lambda: (_trace("recover"), target.recover())
             stop = None
@@ -409,7 +418,7 @@ class FaultPlan:
         permanent_loss = False
         for action in self.actions:
             target = (action.domain, action.node)
-            if action.kind in ("crash", "silence", "equivocate"):
+            if action.kind in ("crash", "wipe", "silence", "equivocate"):
                 if action.until_ms is None and action.kind != "equivocate":
                     faulty.setdefault(action.domain, set()).add(target)
                 # Equivocation is a Byzantine fault: it counts against f even

@@ -36,6 +36,13 @@ Modes (the dispatch is table-driven; add a mode by adding one entry):
     fire, plus hostile equivocation and crash-recovery runs with
     speculation on — proving in-order commit, rollback, and the
     speculation-safety invariant survive adversaries mid-speculation.
+``recovery``
+    Durable crash recovery armed (``durability=True``): a scaled churn-sweep
+    run where every height-1 replica suffers an amnesia crash (``wipe``) and
+    must replay its WAL, catch up from peers, and rejoin, plus a hostile run
+    layering an equivocating primary over the churn — proving the
+    ``recovery-safety`` invariant pass (promise consistency, replay/catch-up
+    well-formedness, recovered-state replay) holds under adversaries.
 ``perf``
     The simulator speed and parallel-runner guarantees: the events/sec
     microbenchmark (the calendar queue must beat the retained legacy heap on
@@ -137,6 +144,29 @@ def _pipeline_checks() -> List[Scenario]:
     ]
 
 
+def _recovery_checks() -> List[Scenario]:
+    from repro.faults.plan import FaultAction, FaultPlan
+
+    base = registry.get("churn-sweep")
+    # Layer an equivocating primary over the churn: D12's primary lies about
+    # payloads while D12's replicas are being wiped and recovered around it,
+    # so recovered nodes must rejoin without ever double-voting.
+    hostile = FaultPlan(
+        name="churn-equivocate",
+        actions=base.fault_plan.actions
+        + (
+            FaultAction(
+                kind="equivocate", at_ms=10.0, domain="D12", until_ms=700.0
+            ),
+        ),
+    )
+    return [
+        base,
+        registry.get("churn-sweep-primaries"),
+        base.with_overrides(name="churn-equivocate", fault_plan=hostile),
+    ]
+
+
 #: mode name -> scenario list factory (the whole dispatch table).
 MODES: Dict[str, Callable[[], List[Scenario]]] = {
     "default": _default_checks,
@@ -145,6 +175,7 @@ MODES: Dict[str, Callable[[], List[Scenario]]] = {
     "shard": _shard_checks,
     "control": _control_checks,
     "pipeline": _pipeline_checks,
+    "recovery": _recovery_checks,
 }
 
 #: CI gate for the in-process queue comparison.  The local ratio is ~1.5-2x;
@@ -218,6 +249,12 @@ def main(mode: str = "default") -> int:
                 len(trace.events_with_prefix("spec:")) if trace is not None else 0
             )
             knobs += f" speculation=on spec_events={spec_count}"
+        if scenario.durability:
+            wipes = len(trace.events("fault:wipe")) if trace is not None else 0
+            rejoins = (
+                len(trace.events("recovery:rejoin")) if trace is not None else 0
+            )
+            knobs += f" durability=on wipes={wipes} rejoins={rejoins}"
         print(
             f"{scenario.name}: committed={run.summary.committed} "
             f"aborted={run.summary.aborted} pending={run.summary.pending} "

@@ -1,0 +1,33 @@
+"""Durable crash recovery: write-ahead log, certified checkpoints, catch-up.
+
+Armed by the ``durability`` deployment knob (off by default — an unarmed
+deployment builds none of this and is bit-identical to the pre-durability
+tree).  See :mod:`repro.recovery.wal` for the durable store and
+:mod:`repro.recovery.catchup` for the recovery procedure itself.
+"""
+
+from repro.recovery.catchup import (
+    CATCHUP_TIMEOUT_MAX_MS,
+    CATCHUP_TIMEOUT_MS,
+    RecoveryManager,
+)
+from repro.recovery.wal import (
+    WAL_RECORD_KINDS,
+    Checkpoint,
+    WalRecord,
+    WriteAheadLog,
+    checkpoint_digest,
+    state_root_of,
+)
+
+__all__ = [
+    "CATCHUP_TIMEOUT_MS",
+    "CATCHUP_TIMEOUT_MAX_MS",
+    "RecoveryManager",
+    "WAL_RECORD_KINDS",
+    "Checkpoint",
+    "WalRecord",
+    "WriteAheadLog",
+    "checkpoint_digest",
+    "state_root_of",
+]

@@ -1,0 +1,259 @@
+"""Recovery of an amnesia-crashed node: WAL replay, peer catch-up, rejoin.
+
+A wiped node comes back with nothing but its durable store (WAL + latest
+checkpoint).  :class:`RecoveryManager` drives the three recovery stages in
+order, leaving one trace event per stage:
+
+``recovery:replay``
+    Rebuild local durable facts: restore the checkpoint snapshot and ledger
+    prefix, then walk the WAL — re-appending logged ledger entries,
+    re-marking decided slots (without re-delivering them), and re-arming the
+    consensus promises (adopted payloads, sent commits, view votes) so the
+    node can never equivocate against a vote it cast before the crash.
+
+``recovery:catchup``
+    Ask peers for everything decided while the node was down.  Queries go to
+    *one* peer at a time; a peer that times out or answers unhelpfully is
+    rotated away from and the per-attempt timeout backs off exponentially
+    (capped), so a dead, partitioned, or equally-amnesiac peer cannot stall
+    recovery.  Replies carrying a checkpoint are verified — quorum
+    certificate and recomputed Merkle state root — before anything is
+    adopted; decided slots are applied through the engine's normal delivery
+    path, so ledger appends, executions, and client replies all happen
+    exactly as a live node would perform them.
+
+``recovery:rejoin``
+    Emitted once the node has delivered everything its serving peer knows:
+    the node adopts the current view and resumes normal participation.
+
+A second crash (plain or wipe) during catch-up abandons the attempt; the
+next ``recover`` restarts recovery from scratch, which is idempotent because
+replay rebuilds from the durable store alone.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.consensus.messages import CatchUpQuery, CatchUpReply
+
+__all__ = [
+    "CATCHUP_TIMEOUT_MS",
+    "CATCHUP_TIMEOUT_MAX_MS",
+    "RecoveryManager",
+]
+
+#: First per-peer catch-up timeout.  Comfortably above one wide-area round
+#: trip, far below the gap-recovery timer, so a healthy peer answers well
+#: within one attempt.
+CATCHUP_TIMEOUT_MS = 50.0
+
+#: Backoff cap: timeouts double per failed attempt up to this.
+CATCHUP_TIMEOUT_MAX_MS = 400.0
+
+
+class RecoveryManager:
+    """Drives one node's recovery after an amnesia crash.
+
+    Owned by a :class:`~repro.core.node.SaguaroNode`; like the durable store
+    it survives a wipe (the manager *is* the recovery procedure, not state
+    being recovered).  ``epoch`` guards every timer: crashes bump it, so a
+    timeout armed by an abandoned attempt can never act on a newer one.
+    """
+
+    def __init__(self, node: Any) -> None:
+        self._node = node
+        #: A wipe happened and the node has not completed recovery since.
+        self.pending = False
+        #: A recovery attempt is currently running.
+        self.active = False
+        #: Simulated time of the last completed rejoin (None before any).
+        self.rejoined_at_ms: Optional[float] = None
+        #: Lifetime counters for reporting and tests.
+        self.recoveries_completed = 0
+        self.queries_sent = 0
+        self._epoch = 0
+        self._peers: Tuple[str, ...] = ()
+        self._peer_index = 0
+        self._timeout_ms = CATCHUP_TIMEOUT_MS
+        self._timer: Any = None
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def note_wiped(self) -> None:
+        """The node lost its volatile state; recovery is owed on next recover."""
+        self._abandon()
+        self.pending = True
+
+    def note_crashed(self) -> None:
+        """A (plain or wipe) crash interrupts any in-flight attempt."""
+        if self.active:
+            self._abandon()
+
+    def _abandon(self) -> None:
+        self._epoch += 1
+        self.active = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def begin(self) -> None:
+        """Start (or restart) recovery: replay, then catch up, then rejoin."""
+        node = self._node
+        self._abandon()
+        self._epoch += 1
+        self.active = True
+        self._replay()
+        names = list(node.domain.node_names)
+        try:
+            start = names.index(node.address)
+        except ValueError:
+            start = 0
+        # Deterministic rotation starting just past our own position in
+        # domain order, so concurrently recovering replicas spread their
+        # first queries over different peers.
+        ordered = [
+            names[(start + offset) % len(names)] for offset in range(1, len(names))
+        ]
+        self._peers = tuple(peer for peer in ordered if peer != node.address)
+        self._peer_index = 0
+        self._timeout_ms = CATCHUP_TIMEOUT_MS
+        if not self._peers:
+            self._rejoin(node.engine.view)
+            return
+        self._send_query()
+
+    # ------------------------------------------------------------------ stage 1: replay
+
+    def _replay(self) -> None:
+        node = self._node
+        checkpoint = node.durable_checkpoint
+        checkpoint_slot = 0
+        if checkpoint is not None:
+            node.restore_from_checkpoint(checkpoint)
+            checkpoint_slot = checkpoint.slot
+        records = node.wal.records() if node.wal is not None else ()
+        appends = decides = votes = 0
+        for record in records:
+            if record.kind == "append":
+                if (
+                    node.ledger is not None
+                    and record.position == node.ledger.next_position()
+                ):
+                    node.replay_ledger_entry(record.payload)
+                    appends += 1
+            elif record.kind == "decide":
+                node.engine.rehydrate_decision(record.slot, record.payload, record.view)
+                decides += 1
+            else:
+                node.engine.rehydrate_vote(record)
+                votes += 1
+        node.record_trace(
+            "recovery:replay",
+            slot=node.engine.next_undelivered_slot - 1,
+            checkpoint_slot=checkpoint_slot,
+            wal_records=len(records),
+            appends=appends,
+            decides=decides,
+            votes=votes,
+        )
+
+    # ------------------------------------------------------------------ stage 2: catch-up
+
+    def _send_query(self) -> None:
+        node = self._node
+        epoch = self._epoch
+        peer = self._peers[self._peer_index % len(self._peers)]
+        query = CatchUpQuery(
+            domain=node.domain.id,
+            view=node.engine.view,
+            slot=node.engine.next_undelivered_slot,
+            sender=node.address,
+        )
+        self.queries_sent += 1
+        node.send(peer, query)
+        self._timer = node.set_timer(
+            self._timeout_ms, lambda: self._on_timeout(epoch)
+        )
+
+    def _on_timeout(self, epoch: int) -> None:
+        if epoch != self._epoch or not self.active or self._node.crashed:
+            return
+        self._timer = None
+        self._rotate_and_retry()
+
+    def _rotate_and_retry(self) -> None:
+        """Next peer, longer timeout: the current peer is dead or unhelpful."""
+        self._peer_index += 1
+        self._timeout_ms = min(self._timeout_ms * 2, CATCHUP_TIMEOUT_MAX_MS)
+        self._send_query()
+
+    def on_reply(self, message: CatchUpReply) -> None:
+        """A peer answered: verify, adopt, and either continue or rejoin."""
+        node = self._node
+        if not self.active or node.crashed:
+            return
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        applied = 0
+        checkpoint = message.checkpoint
+        adopted_checkpoint = 0
+        if (
+            checkpoint is not None
+            and node.ledger is not None
+            and checkpoint.slot >= node.engine.next_undelivered_slot
+        ):
+            if not checkpoint.verify(node.keystore, node.domain.node_names):
+                # Bad certificate or forged snapshot: distrust this peer
+                # entirely and move on.
+                node.record_trace(
+                    "recovery:catchup",
+                    peer=message.sender,
+                    applied=0,
+                    rejected="checkpoint",
+                )
+                self._rotate_and_retry()
+                return
+            node.restore_from_checkpoint(checkpoint, adopt=True)
+            adopted_checkpoint = checkpoint.slot
+            applied += 1
+        for slot, payload in message.decided:
+            if slot == node.engine.next_undelivered_slot:
+                node.engine.adopt_decision(slot, payload)
+                applied += 1
+        node.record_trace(
+            "recovery:catchup",
+            peer=message.sender,
+            slot=node.engine.next_undelivered_slot - 1,
+            applied=applied,
+            checkpoint_slot=adopted_checkpoint,
+            latest_slot=message.latest_slot,
+        )
+        if node.engine.next_undelivered_slot > message.latest_slot:
+            self._rejoin(max(message.view, node.engine.view))
+            return
+        if applied:
+            # The peer is live and useful: keep draining it, backoff reset.
+            self._timeout_ms = CATCHUP_TIMEOUT_MS
+            self._send_query()
+        else:
+            # Reply carried nothing we could use (e.g. the peer recovered
+            # from a checkpoint itself and cannot serve our slots).
+            self._rotate_and_retry()
+
+    # ------------------------------------------------------------------ stage 3: rejoin
+
+    def _rejoin(self, view: int) -> None:
+        node = self._node
+        node.engine.adopt_view(view)
+        self.active = False
+        self.pending = False
+        self.rejoined_at_ms = node.now()
+        self.recoveries_completed += 1
+        node.record_trace(
+            "recovery:rejoin",
+            view=node.engine.view,
+            slot=node.engine.next_undelivered_slot - 1,
+            queries=self.queries_sent,
+        )

@@ -162,6 +162,25 @@ class ScenarioBuilder:
         self._fields["speculation"] = enabled
         return self
 
+    def durability(
+        self,
+        enabled: bool = True,
+        wal_sync_ms: Optional[float] = None,
+        checkpoint_interval: Optional[int] = None,
+    ) -> "ScenarioBuilder":
+        """Arm the write-ahead log + certified-checkpoint recovery subsystem.
+
+        ``durability()`` turns it on with the default WAL sync cost and
+        checkpoint cadence; ``durability(False)`` is the inert default
+        (bit-identical to the pre-durability deployment).
+        """
+        self._fields["durability"] = enabled
+        if wal_sync_ms is not None:
+            self._fields["wal_sync_ms"] = wal_sync_ms
+        if checkpoint_interval is not None:
+            self._fields["checkpoint_interval"] = checkpoint_interval
+        return self
+
     def control(
         self,
         policy_or_spec: Union[str, ControlPolicy] = "adaptive",

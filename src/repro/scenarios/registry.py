@@ -51,6 +51,10 @@ __all__ = [
     "PIPELINE_STALL_EVERY",
     "PIPELINE_STALL_DELAY_MS",
     "PIPELINE_SWEEP_SCENARIOS",
+    "CHURN_WIPE_OUTAGE_MS",
+    "CHURN_INTRA_DOMAIN_STEP_MS",
+    "CHURN_INTER_DOMAIN_STEP_MS",
+    "CHURN_SWEEP_SCENARIOS",
     "ZIPF_SWEEP_BATCHES",
     "ZIPF_SWEEP_SCENARIOS",
     "SCALE100_DOMAINS",
@@ -582,6 +586,135 @@ _register_zipf_sweep()
 
 
 # ---------------------------------------------------------------------------
+# Churn sweep (the fig_churn scenario family)
+# ---------------------------------------------------------------------------
+
+#: Simulated length of one wipe outage in the churn sweep.
+CHURN_WIPE_OUTAGE_MS = 100.0
+
+#: Gap between successive wipes inside one domain — longer than the outage,
+#: so a domain never has two of its replicas down at once (f = 1).
+CHURN_INTRA_DOMAIN_STEP_MS = 130.0
+
+#: Stagger between domains, so the cluster-wide churn is spread out rather
+#: than synchronised.
+CHURN_INTER_DOMAIN_STEP_MS = 30.0
+
+
+def _register_churn_sweep() -> None:
+    """The crash-recovery churn family: every height-1 replica wipe-crashes.
+
+    Byzantine domains (f=1, four replicas each) on the nearby-EU profile
+    with durability armed (WAL + checkpoints every 8 slots).  The fault plan
+    rolls one ``wipe`` outage across *every* replica of every height-1
+    domain — including each domain's view-0 primary — staggered so no domain
+    ever exceeds its tolerated single fault, and finishes with a replica
+    that is crashed again right after it recovers (an outage landing during
+    catch-up).  Every wiped node must replay its WAL, catch up from peers,
+    and rejoin; the ``recovery-safety`` invariant pass checks each one.
+
+    ``churn-sweep-nofault`` is the identical deployment without the fault
+    plan — the baseline the ``fig_churn`` benchmark measures dips against.
+    ``churn-sweep-primaries`` wipes only the four view-0 primaries, twice
+    each — the heavier view-change-plus-recovery variant.
+    """
+    from repro.common.config import TimerConfig
+
+    quick_timers = TimerConfig(
+        request_timeout_ms=400.0,
+        cross_domain_timeout_ms=250.0,
+        deadlock_backoff_ms=20.0,
+        commit_query_timeout_ms=250.0,
+        view_change_timeout_ms=300.0,
+    )
+    base = figure_base(
+        "churn-sweep-nofault",
+        FailureModel.BYZANTINE,
+        "nearby-eu",
+        cross_domain_ratio=0.0,
+        num_clients=8,
+    ).with_overrides(
+        num_transactions=128,
+        timers=quick_timers,
+        round_interval_ms=25.0,
+        # Closed-loop clients pace themselves so the workload spans the whole
+        # ~700 ms churn schedule — the wipes must land under live load, not
+        # on an already-drained system.
+        think_time_ms=40.0,
+        drain_ms=500.0,
+        durability=True,
+        wal_sync_ms=0.05,
+        checkpoint_interval=8,
+    )
+    register("churn-sweep-nofault", base)
+
+    domains = ("D11", "D12", "D13", "D14")
+    nodes_per_domain = 4  # BFT f=1 -> 3f+1 replicas
+    actions = []
+    for d_index, domain in enumerate(domains):
+        for node in range(nodes_per_domain):
+            start = (
+                60.0
+                + node * CHURN_INTRA_DOMAIN_STEP_MS
+                + d_index * CHURN_INTER_DOMAIN_STEP_MS
+            )
+            actions.append(
+                FaultAction(
+                    kind="wipe",
+                    at_ms=start,
+                    domain=domain,
+                    node=node,
+                    until_ms=start + CHURN_WIPE_OUTAGE_MS,
+                )
+            )
+    # One replica is knocked over again immediately after its recovery —
+    # if the crash lands mid-catch-up the attempt is abandoned and restarted.
+    actions.append(
+        FaultAction(kind="wipe", at_ms=650.0, domain="D11", node=1, until_ms=670.0)
+    )
+    actions.append(
+        FaultAction(kind="crash", at_ms=670.3, domain="D11", node=1, until_ms=700.0)
+    )
+    register(
+        "churn-sweep",
+        base.with_overrides(
+            name="churn-sweep",
+            fault_plan=FaultPlan(name="churn", actions=tuple(actions)),
+        ),
+    )
+
+    primary_actions = []
+    for cycle in range(2):
+        for d_index, domain in enumerate(domains):
+            start = (
+                60.0
+                + cycle * 2 * CHURN_INTRA_DOMAIN_STEP_MS
+                + d_index * CHURN_INTER_DOMAIN_STEP_MS
+            )
+            primary_actions.append(
+                FaultAction(
+                    kind="wipe",
+                    at_ms=start,
+                    domain=domain,
+                    node=0,
+                    until_ms=start + CHURN_WIPE_OUTAGE_MS,
+                )
+            )
+    register(
+        "churn-sweep-primaries",
+        base.with_overrides(
+            name="churn-sweep-primaries",
+            fault_plan=FaultPlan(
+                name="churn-primaries", actions=tuple(primary_actions)
+            ),
+        ),
+    )
+
+
+_register_churn_sweep()
+
+
+# ---------------------------------------------------------------------------
 # Edge-scale family: the deployment size the paper argues for
 # ---------------------------------------------------------------------------
 
@@ -672,6 +805,13 @@ PIPELINE_SWEEP_SCENARIOS: Tuple[str, ...] = (
 ZIPF_SWEEP_SCENARIOS: Tuple[str, ...] = tuple(
     f"zipf-sweep-b{size:03d}" for size in ZIPF_SWEEP_BATCHES
 ) + ("zipf-sweep-adaptive",)
+
+#: Registered churn-sweep scenarios (swept by the fig_churn benchmark).
+CHURN_SWEEP_SCENARIOS: Tuple[str, ...] = (
+    "churn-sweep-nofault",
+    "churn-sweep",
+    "churn-sweep-primaries",
+)
 
 #: Registered Byzantine fault-plan scenarios (tested for safety invariants).
 ADVERSARIAL_SCENARIOS: Tuple[str, ...] = (

@@ -58,6 +58,10 @@ class RunResult:
     num_clients: int
     summary: PerformanceSummary
     params: Tuple[Tuple[str, Any], ...] = ()
+    #: Per recovered node: simulated ms from its wipe (``fault:wipe``) to its
+    #: completed rejoin (``recovery:rejoin``).  One entry per recovery, in
+    #: rejoin order; empty on runs without amnesia crashes.
+    time_to_rejoin_ms: Tuple[Tuple[str, float], ...] = ()
 
     def param(self, key: str, default: Any = None) -> Any:
         for name, value in self.params:
@@ -76,7 +80,7 @@ class RunResult:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "scenario": self.scenario,
             "engine": self.engine,
             "seed": self.seed,
@@ -84,6 +88,13 @@ class RunResult:
             "params": [[key, value] for key, value in self.params],
             "summary": asdict(self.summary),
         }
+        # Emitted only when recoveries happened, so runs without amnesia
+        # crashes serialise exactly as they always did (golden stability).
+        if self.time_to_rejoin_ms:
+            data["time_to_rejoin_ms"] = [
+                [node, delta] for node, delta in self.time_to_rejoin_ms
+            ]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
@@ -95,6 +106,10 @@ class RunResult:
             num_clients=data["num_clients"],
             params=tuple((key, value) for key, value in data.get("params", ())),
             summary=PerformanceSummary(**data["summary"]),
+            time_to_rejoin_ms=tuple(
+                (node, delta)
+                for node, delta in data.get("time_to_rejoin_ms", ())
+            ),
         )
 
 
@@ -267,7 +282,29 @@ class ScenarioRun:
             seed=self.seed,
             num_clients=self.scenario.num_clients,
             summary=self.summary,
+            time_to_rejoin_ms=_rejoin_times(self.trace),
         )
+
+
+def _rejoin_times(trace: Optional[TraceRecorder]) -> Tuple[Tuple[str, float], ...]:
+    """Per-node wipe-to-rejoin deltas, one entry per completed recovery.
+
+    Each ``recovery:rejoin`` is matched to that node's *earliest* unmatched
+    ``fault:wipe`` (pop-on-match), so the delta covers the full outage even
+    when the fault plan wipes the node again before it recovers.
+    """
+    if trace is None:
+        return ()
+    wiped: Dict[str, List[float]] = {}
+    deltas: List[Tuple[str, float]] = []
+    for event in trace.events():
+        if event.kind == "fault:wipe":
+            wiped.setdefault(event.node, []).append(event.at_ms)
+        elif event.kind == "recovery:rejoin":
+            pending = wiped.get(event.node)
+            if pending:
+                deltas.append((event.node, event.at_ms - pending.pop(0)))
+    return tuple(deltas)
 
 
 def materialize(scenario: Scenario, seed: Optional[int] = None) -> ScenarioRun:
@@ -519,6 +556,7 @@ class ScenarioRunner:
                 num_clients=outcome.num_clients,
                 summary=outcome.summary,
                 params=combo,
+                time_to_rejoin_ms=outcome.time_to_rejoin_ms,
             )
             for combo, outcome in zip(combos, outcomes)
         ]

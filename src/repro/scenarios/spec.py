@@ -448,6 +448,16 @@ class Scenario:
     #: conflict.  ``False`` (the default) is bit-identical to the
     #: pre-speculation engine.
     speculation: bool = False
+    #: Arms the durability/recovery subsystem: every node keeps a simulated
+    #: write-ahead log of its consensus-critical durable facts (each append
+    #: charging ``wal_sync_ms`` on the protocol CPU) and height-1 replicas
+    #: take a certified Merkle-rooted checkpoint every ``checkpoint_interval``
+    #: decided slots.  A ``wipe`` fault then models an amnesia crash whose
+    #: recovery replays the WAL, catches up from peers, and rejoins.
+    #: ``False`` (the default) is bit-identical to the pre-durability tree.
+    durability: bool = False
+    wal_sync_ms: float = 0.05
+    checkpoint_interval: int = 32
     control: ControlPolicy = field(default_factory=ControlPolicy)
 
     def __post_init__(self) -> None:
@@ -526,6 +536,21 @@ class Scenario:
                 )
         if not isinstance(self.speculation, bool):
             raise ConfigurationError("speculation must be a bool")
+        if not isinstance(self.durability, bool):
+            raise ConfigurationError("durability must be a bool")
+        if (
+            isinstance(self.wal_sync_ms, bool)
+            or not isinstance(self.wal_sync_ms, (int, float))
+            or self.wal_sync_ms < 0
+            or not math.isfinite(self.wal_sync_ms)
+        ):
+            raise ConfigurationError("wal_sync_ms must be non-negative and finite")
+        if not isinstance(self.checkpoint_interval, int) or isinstance(
+            self.checkpoint_interval, bool
+        ):
+            raise ConfigurationError("checkpoint_interval must be an integer")
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be >= 1")
         if isinstance(self.control, Mapping):
             object.__setattr__(self, "control", ControlPolicy.from_dict(self.control))
         if not isinstance(self.control, ControlPolicy):
@@ -579,6 +604,9 @@ class Scenario:
             state_shards=self.state_shards,
             execution_lanes=self.execution_lanes,
             speculation=self.speculation,
+            durability=self.durability,
+            wal_sync_ms=self.wal_sync_ms,
+            checkpoint_interval=self.checkpoint_interval,
             control=self.control,
         )
 
@@ -691,6 +719,9 @@ class Scenario:
             "execution_lanes": self.execution_lanes,
             "execute_ms": self.execute_ms,
             "speculation": self.speculation,
+            "durability": self.durability,
+            "wal_sync_ms": self.wal_sync_ms,
+            "checkpoint_interval": self.checkpoint_interval,
             "control": self.control.to_dict(),
         }
 
@@ -756,6 +787,11 @@ class Scenario:
             lines.append(f"  execution: execute_ms={self.execute_ms:g}")
         if self.speculation:
             lines.append("  speculation: on")
+        if self.durability:
+            lines.append(
+                f"  durability: on (wal_sync={self.wal_sync_ms:g}ms, "
+                f"checkpoint_interval={self.checkpoint_interval})"
+            )
         if workload.zipf_skew > 0:
             lines.append(f"  zipf: skew={workload.zipf_skew:g}")
         if self.control.enabled:
