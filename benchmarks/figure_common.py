@@ -825,6 +825,81 @@ def control_figure(
     return results
 
 
+def control2_figure(
+    title: str,
+    figure: str = "fig_control2",
+) -> Dict[str, Any]:
+    """The phase-2 control sweep (fig_control2): splitting and leases.
+
+    Two legs.  The white-hot leg runs ``zipf-hot-nosplit`` vs
+    ``zipf-hot-split`` — the same adaptive plane on a Zipf-1.4 workload with
+    only two base shards, where the hot shard is its lane's single resident
+    and whole-shard rebalancing is blocked by the single-resident guard.
+    The split run may additionally split the hot shard's key range between
+    execution windows; everything else is identical, so the throughput gap
+    is what splitting buys past PR 6's rebalancer.  The lease leg runs
+    ``lease-rejoin`` (three-domain transactions, branching-3 tree) and
+    reports the conflict-lease ledger: grants, adoptions into following
+    groups, expiries to the per-transaction path, and drops.
+
+    Returns the per-leg summaries plus the trace evidence the acceptance
+    gates check (split counts per leg and the lease action counts).
+    """
+    from collections import Counter
+
+    results: Dict[str, PerformanceSummary] = {}
+    splits: Dict[str, int] = {}
+    print()
+    print(title)
+    print("-" * len(title))
+    for label, name in (("nosplit", "zipf-hot-nosplit"), ("split", "zipf-hot-split")):
+        run, events_per_sec = _timed_checked_run(registry.get(name))
+        assert run.summary is not None
+        results[label] = run.summary
+        splits[label] = (
+            len(run.trace.events("control:split")) if run.trace is not None else 0
+        )
+        record_bench(
+            figure if label == "split" else f"{figure}/{label}",
+            throughput_tps=run.summary.throughput_tps,
+            avg_latency_ms=run.summary.avg_latency_ms,
+            events_per_sec=events_per_sec,
+        )
+        print(
+            f"{label:8s}  ->  {run.summary.throughput_tps:9.1f} tps  "
+            f"{run.summary.avg_latency_ms:7.2f} ms avg  "
+            f"{run.summary.p95_latency_ms:8.2f} ms p95  "
+            f"splits={splits[label]}"
+        )
+        if label == "split":
+            _summarise_control_decisions(run)
+    run, events_per_sec = _timed_checked_run(registry.get("lease-rejoin"))
+    assert run.summary is not None
+    results["lease"] = run.summary
+    lease_actions = Counter(
+        event.get("action")
+        for event in (run.trace.events("control:lease") if run.trace else ())
+    )
+    record_bench(
+        f"{figure}/lease",
+        throughput_tps=run.summary.throughput_tps,
+        avg_latency_ms=run.summary.avg_latency_ms,
+        events_per_sec=events_per_sec,
+    )
+    print(
+        f"lease     ->  {run.summary.throughput_tps:9.1f} tps  "
+        f"committed={run.summary.committed}  "
+        + " ".join(
+            f"{action}={lease_actions[action]}" for action in sorted(lease_actions)
+        )
+    )
+    return {
+        "summaries": results,
+        "splits": splits,
+        "lease_actions": dict(lease_actions),
+    }
+
+
 def xbatch_figure(
     title: str,
     group_sizes: Optional[Sequence[int]] = None,

@@ -1,0 +1,45 @@
+"""fig_control2: phase-2 control plane — shard splitting and conflict leases.
+
+Runs the ``zipf-hot`` pair — the adaptive control plane on a white-hot
+Zipf-1.4 workload over only two base shards, where the hot shard is its
+lane's single resident and the PR 6 rebalancer's single-resident guard
+blocks every whole-shard move — once without and once with shard splitting
+armed, plus the ``lease-rejoin`` scenario where three-domain transactions on
+a branching-3 tree exercise the conflict-lease grant/adopt/expire cycle.
+The acceptance gates for the phase-2 tentpole live here: the split-armed
+run must beat the split-less adaptive run by at least 1.15x (splitting is
+the only mechanism that can spread a single white-hot shard), it must have
+actually split, and the lease run must have actually granted and adopted
+leases.  Every run is invariant-checked, including the ``lease-safety``,
+``split-partition``, and ``shed-accounting`` passes.
+"""
+
+from figure_common import control2_figure
+
+
+def test_figure_control2_splitting_beats_blocked_rebalancing(benchmark):
+    def run():
+        return control2_figure(
+            title="fig_control2: shard splitting + conflict leases (zipf-hot, s = 1.4)",
+        )
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    summaries = outcome["summaries"]
+    nosplit = summaries["nosplit"].throughput_tps
+    split = summaries["split"].throughput_tps
+    assert nosplit > 0
+    # Phase-2 acceptance gate: adaptive-with-splitting (+leases armed) must
+    # beat adaptive-without by >= 1.15x on the white-hot workload.
+    assert split >= 1.15 * nosplit, (
+        f"split-armed adaptive reached only {split:.1f} tps vs "
+        f"{nosplit:.1f} tps without ({split / nosplit:.2f}x < 1.15x)"
+    )
+    # The gap must come from actual splits, not noise.
+    assert outcome["splits"]["nosplit"] == 0
+    assert outcome["splits"]["split"] > 0
+    # The lease leg exercised the full grant -> adopt path.
+    lease_actions = outcome["lease_actions"]
+    assert lease_actions.get("grant", 0) > 0
+    assert lease_actions.get("adopt", 0) > 0
+    for summary in summaries.values():
+        assert summary.pending == 0

@@ -45,6 +45,7 @@ class PbftEngine(ConsensusEngine):
         self._payload_views: Dict[int, int] = {}
         self._prepare_votes: Dict[_VoteKey, Set[str]] = {}
         self._commit_votes: Dict[_VoteKey, Set[str]] = {}
+        self._echo_votes: Dict[_VoteKey, Set[str]] = {}
         self._commit_sent: Set[int] = set()
         self._view_change_votes: Dict[int, Set[str]] = {}
         self._view_change_pending: Dict[int, Dict[int, Any]] = {}
@@ -243,8 +244,16 @@ class PbftEngine(ConsensusEngine):
 
         The echo lets a node that missed the pre-prepare or whose commit
         votes were lost catch up.  A node holding a *different* payload for
-        the slot refuses: without a transferable ``2f + 1`` proof a single
-        peer must not be able to overwrite a locally prepared value.
+        the slot refuses a single echo: without a transferable ``2f + 1``
+        proof one peer must not overwrite a locally prepared value.  But the
+        refusal must not be permanent — a replica that adopted an
+        equivocating primary's forged payload would otherwise refuse the
+        honest decision forever, stalling in-order delivery for the rest of
+        the run (its gap recovery re-queries every backoff round and every
+        reply is refused again).  Once ``f + 1`` *distinct* peers echo the
+        same decided payload, at least one of them is honest and really
+        decided it, so the held (possibly forged) payload loses and the
+        replica adopts the quorum's decision.
         """
         if self.is_decided(message.slot):
             return
@@ -252,13 +261,22 @@ class PbftEngine(ConsensusEngine):
         digest = self.payload_digest(message.payload)
         held = self._payloads.get(message.slot)
         if held is not None and self.payload_digest(held) != digest:
+            echoes = self._echo_votes.setdefault((message.slot, digest), set())
+            echoes.add(sender)
+            if len(echoes) <= self.domain.faults:
+                self._trace(
+                    "equivocation-observed",
+                    slot=message.slot,
+                    payload_digest=digest,
+                    sender=sender,
+                )
+                return
             self._trace(
-                "equivocation-observed",
+                "echo-adopt",
                 slot=message.slot,
                 payload_digest=digest,
-                sender=sender,
+                echoes=len(echoes),
             )
-            return
         self._adopt_payload(message.slot, message.payload, message.view)
         self._record_decision(message.slot, message.payload)
 

@@ -111,6 +111,12 @@ class LaneRebalancer:
 
     def __init__(self, policy: ControlPolicy) -> None:
         self._policy = policy
+        #: Set by :meth:`rebalance`: the busiest lane's sole resident shard
+        #: when the imbalance gate fired but the single-resident guard
+        #: stopped any move — i.e. the lane map alone cannot fix the skew
+        #: and only *splitting* that shard (or waiting) can.  ``None`` when
+        #: the last evaluation was not blocked this way.
+        self.blocked_shard: Optional[int] = None
 
     def rebalance(
         self,
@@ -141,6 +147,7 @@ class LaneRebalancer:
         busy = list(lane_busy_ms)
         lane_of = list(assignment)
         moves: List[Tuple[int, int, int]] = []
+        self.blocked_shard = None
         for _ in range(policy.max_moves_per_interval):
             busiest = max(range(lanes), key=lambda lane: busy[lane])
             idlest = min(range(lanes), key=lambda lane: busy[lane])
@@ -150,7 +157,13 @@ class LaneRebalancer:
                 break
             resident = [s for s in range(len(lane_of)) if lane_of[s] == busiest]
             if len(resident) < 2:
-                break  # a single hot shard cannot be split, only moved whole
+                # A single resident shard cannot be rebalanced away — the
+                # whole lane *is* that shard.  Report it so the control
+                # plane can split its key range (or back off) instead of
+                # re-evaluating the same dead end every window.
+                if resident:
+                    self.blocked_shard = resident[0]
+                break
             lane_writes = sum(shard_writes[s] for s in resident)
             if lane_writes <= 0:
                 break

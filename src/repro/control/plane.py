@@ -13,8 +13,17 @@ controllers, and applies their decisions:
   batch (and with it commit order) is never perturbed.
 
 Every applied change is recorded as a ``control:*`` trace event
-(``control:batch``, ``control:group``, ``control:rebalance``), which is what
-reporting and the controller-determinism tests read back.
+(``control:batch``, ``control:group``, ``control:rebalance``, and the phase-2
+``control:split`` / ``control:shed``), which is what reporting, the
+invariant checker's control passes, and the controller-determinism tests
+read back.
+
+Phase 2 extends the loop with two more actuators (both policy-gated, both
+off by default): sustained decide-latency overrun flips the node's
+admission valve (load shedding), and a lane rebalance blocked repeatedly
+on a single-resident hot lane either splits that shard's key range between
+execution windows or backs off exponentially instead of re-evaluating the
+same dead end every interval.
 
 This module deliberately imports nothing from :mod:`repro.core`: the node is
 duck-typed (the same host surface the consensus engines rely on), keeping the
@@ -46,6 +55,13 @@ class ControlPlane:
         self._group_target: Optional[Any] = None
         self.ticks = 0
         self.lane_moves = 0
+        # Phase 2 state: shard splitting and load shedding.
+        self.splits = 0
+        self.rebalance_evals = 0
+        self._blocked_streak = 0
+        self._backoff_exp = 0
+        self._rebalance_skip = 0
+        self._overrun_streak = 0
 
     # ------------------------------------------------------------------ component surface
 
@@ -84,6 +100,7 @@ class ControlPlane:
         decision = self._controller.update(snapshot)
         self._apply_batch_target(decision)
         self._apply_group_target(decision)
+        self._update_shedding(decision)
         self._rebalance_lanes()
 
     # ------------------------------------------------------------------ actuators
@@ -119,6 +136,43 @@ class ControlPlane:
             retries=decision.retries,
         )
 
+    def _update_shedding(self, decision: Any) -> None:
+        """Flip the node's admission valve on sustained decide-latency overrun.
+
+        ``shed_after_windows`` consecutive windows above the latency target
+        turn shedding on; the first window at/below target (or with nothing
+        decided at all — an idle window cannot be overloaded) turns it off.
+        Every flip is traced; the rejects themselves are traced by
+        ``SaguaroNode.shed_admission`` so no transaction disappears silently.
+        """
+        if not self.policy.shed:
+            return
+        node = self.node
+        latency = decision.decide_latency_ms
+        overrun = (
+            latency is not None
+            and latency > self.policy.target_decide_latency_ms
+        )
+        if overrun:
+            self._overrun_streak += 1
+        else:
+            self._overrun_streak = 0
+        if not node.shedding and self._overrun_streak >= self.policy.shed_after_windows:
+            node.shedding = True
+            node.record_trace(
+                "control:shed",
+                action="on",
+                windows=self._overrun_streak,
+                decide_latency_ms=round(latency, 4),
+            )
+        elif node.shedding and not overrun:
+            node.shedding = False
+            node.record_trace(
+                "control:shed",
+                action="off",
+                decide_latency_ms=None if latency is None else round(latency, 4),
+            )
+
     def _find_group_target(self) -> Optional[Any]:
         """The component owning the grouped-2PC target (duck-typed), if any."""
         if self._group_target is None:
@@ -148,6 +202,13 @@ class ControlPlane:
         if node.state is None or node.execution_window_open:
             return
         lanes.reset_window()  # keep the busy window aligned with control ticks
+        if self._rebalance_skip > 0:
+            # Backing off from a blocked placement: re-running the greedy
+            # against the same single-resident hot lane every window is the
+            # livelock this counter breaks.
+            self._rebalance_skip -= 1
+            return
+        self.rebalance_evals += 1
         writes = node.state.shard_write_counts()
         assignment = [lanes.lane_of(shard) for shard in range(len(writes))]
         load = [0.0] * lanes.lanes
@@ -166,3 +227,41 @@ class ControlPlane:
                 load_from=round(load[from_lane], 4),
                 load_to=round(load[to_lane], 4),
             )
+        blocked = self._rebalancer.blocked_shard
+        if blocked is None:
+            self._blocked_streak = 0
+            self._backoff_exp = 0
+            return
+        self._blocked_streak += 1
+        if (
+            self.policy.split_shards
+            and self._blocked_streak >= self.policy.split_after_blocked
+            and node.state.split_count < self.policy.max_splits
+        ):
+            if getattr(node.engine, "_spec_records", None):
+                # Speculated-but-undelivered slots hold shard footprints
+                # computed under the current routing; re-routing keys out
+                # from under them could miss a rollback conflict.  Try
+                # again next window once the records drain.
+                return
+            child = node.state.split_shard(blocked)
+            to_lane = min(range(lanes.lanes), key=lambda lane: load[lane])
+            lanes.assign(child, to_lane)
+            node.on_shards_split(blocked, child)
+            self.splits += 1
+            node.record_trace(
+                "control:split",
+                shard=blocked,
+                child=child,
+                to_lane=to_lane,
+                streak=self._blocked_streak,
+                writes_parent=node.state.shard_write_counts()[blocked],
+                writes_child=node.state.shard_write_counts()[child],
+            )
+            self._blocked_streak = 0
+            self._backoff_exp = 0
+        else:
+            # Splitting is off, exhausted, or not yet due: back off
+            # exponentially instead of re-evaluating the same dead end.
+            self._backoff_exp = min(self._backoff_exp + 1, 5)
+            self._rebalance_skip = (1 << self._backoff_exp) - 1

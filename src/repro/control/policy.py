@@ -20,6 +20,22 @@ and is bit-identical to a deployment built before the control plane existed.
   busiest execution lane whenever the window's busiest/idlest lane ratio
   exceeds ``imbalance_ratio`` (at most ``max_moves_per_interval`` shard
   moves per control tick, applied only between execution windows).
+
+Phase 2 adds three opt-in mechanisms (all default off, all requiring an
+adaptive policy):
+
+* ``conflict_leases`` — a grouped-2PC member held back by a *foreign*
+  coordinator's in-flight conflict is granted a short lease
+  (``lease_ms``) and joins the *next* group order instead of falling back
+  to the per-transaction 2PC path;
+* ``split_shards`` — when the lane rebalancer's single-resident guard
+  blocks ``split_after_blocked`` consecutive evaluations, the hot shard's
+  key range is split into two child shards between execution windows
+  (at most ``max_splits`` splits per node);
+* ``shed`` — when the windowed decide latency overruns
+  ``target_decide_latency_ms`` for ``shed_after_windows`` consecutive
+  windows, new client admissions are rejected (traced, never silently
+  dropped) until a window recovers.
 """
 
 from __future__ import annotations
@@ -69,6 +85,17 @@ class ControlPolicy:
     rebalance_lanes: bool = True
     imbalance_ratio: float = 1.25
     max_moves_per_interval: int = 1
+    # Phase 2: grouped-2PC conflict leases (held-back members join the
+    # next group instead of the per-transaction fallback path).
+    conflict_leases: bool = False
+    lease_ms: float = 50.0
+    # Phase 2: hot-shard splitting when whole-shard rebalancing is blocked.
+    split_shards: bool = False
+    split_after_blocked: int = 3
+    max_splits: int = 8
+    # Phase 2: load shedding of new client admissions under overload.
+    shed: bool = False
+    shed_after_windows: int = 4
 
     def __post_init__(self) -> None:
         if self.policy not in CONTROL_POLICIES:
@@ -102,6 +129,21 @@ class ControlPolicy:
             raise ConfigurationError("imbalance_ratio must be > 1")
         if self.max_moves_per_interval < 1:
             raise ConfigurationError("max_moves_per_interval must be >= 1")
+        if not self.lease_ms > 0 or not math.isfinite(self.lease_ms):
+            raise ConfigurationError("lease_ms must be positive and finite")
+        if self.split_after_blocked < 1:
+            raise ConfigurationError("split_after_blocked must be >= 1")
+        if self.max_splits < 1:
+            raise ConfigurationError("max_splits must be >= 1")
+        if self.shed_after_windows < 1:
+            raise ConfigurationError("shed_after_windows must be >= 1")
+        if not self.enabled and (
+            self.conflict_leases or self.split_shards or self.shed
+        ):
+            raise ConfigurationError(
+                "phase-2 mechanisms (conflict_leases, split_shards, shed) "
+                "require an adaptive policy"
+            )
 
     @property
     def enabled(self) -> bool:

@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.common.types import DomainId, TransactionId, TransactionKind, TransactionStatus
 from repro.core.messages import (
+    AdoptedMember,
     ClientReply,
     ClientRequest,
     CommitQuery,
@@ -53,6 +54,7 @@ from repro.core.messages import (
     GroupCrossPrepare,
     GroupCrossPrepared,
     GroupParticipantPrepareOrder,
+    GroupParticipantPrepareOrderWithLeases,
     GroupPrepareOrder,
     ParticipantPrepareOrder,
     PreparedQuery,
@@ -152,6 +154,23 @@ class _ParticipantGroupState:
     tids: Tuple[TransactionId, ...]
 
 
+@dataclass
+class _ConflictLease:
+    """Participant-side hold on one group member blocked by a foreign
+    coordinator's in-flight conflict (control plane, phase 2).
+
+    While the lease is live the member waits to be *adopted* into the next
+    group order submitted by this participant; if the lease expires first
+    the member falls back to the per-transaction queue exactly as it would
+    have without leases."""
+
+    transaction: Transaction
+    coordinator_domain: DomainId
+    coordinator_sequence: int
+    deadline: float
+    timer: Any = None
+
+
 class CoordinatorCrossDomainProtocol(ProtocolComponent):
     """Implements Algorithm 1 on both coordinator and participant nodes."""
 
@@ -185,6 +204,9 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
         # Participant-side group state, keyed by (coordinator domain, gid).
         self._pgroup_pending: Dict[Tuple[DomainId, str], GroupCrossPrepare] = {}
         self._pgroups: Dict[Tuple[DomainId, str], _ParticipantGroupState] = {}
+        # Conflict leases (control plane, phase 2; primary-side only): group
+        # members held by a foreign conflict, waiting to join the next group.
+        self._leased: Dict[TransactionId, _ConflictLease] = {}
         #: The control plane's telemetry bus when the node carries one
         #: (adaptive deployments only) — the coordinator produces the
         #: ``group.*`` / ``xdomain.*`` metrics.
@@ -273,6 +295,10 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             )
             for transaction in payload.transactions:
                 self._part_pending.pop(transaction.tid, None)
+            for member in getattr(payload, "adopted", ()):
+                # Adopted leases of a dropped order: their home coordinators
+                # retry the prepare, which re-enters the normal member flow.
+                self._part_pending.pop(member.transaction.tid, None)
             return True
         if isinstance(payload, GroupCommitOrder):
             # No local cleanup: participants' commit queries re-drive the
@@ -296,6 +322,15 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             return True
         if not self.node.is_primary:
             self.node.send(self.node.engine.primary_address, request)
+            return True
+        if (
+            self.node.shedding
+            and transaction.tid not in self._part
+            and transaction.tid not in self._part_pending
+        ):
+            # Load shedding (control plane, phase 2): refuse admissions that
+            # have not yet entered 2PC; in-flight work always finishes.
+            self.node.shed_admission(transaction, request.client_address)
             return True
         lca = self.node.hierarchy.lowest_common_ancestor(
             list(transaction.involved_domains)
@@ -990,6 +1025,9 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             return True
         if tid in self._part_pending:
             return True
+        # The coordinator took this member over on the per-transaction path
+        # (e.g. a retry after its group disbanded): the lease is obsolete.
+        self._drop_lease(tid)
         missing = self._missing_dependency(prepare)
         if missing is not None:
             # The coordinator ordered an earlier conflicting transaction that
@@ -1157,9 +1195,26 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
                 continue
             if tid in self._part_pending:
                 continue
+            if tid in self._leased:
+                if self._conflicts_with_inflight_participation(
+                    transaction, prepare.coordinator_domain
+                ):
+                    self._grant_lease(transaction, prepare)  # refresh in place
+                    continue
+                # Its home coordinator re-offered the member and the conflict
+                # has cleared: admit it as an ordinary groupmate.
+                self._drop_lease(tid)
+                accepted.append(transaction)
+                continue
             if self._conflicts_with_inflight_participation(
                 transaction, prepare.coordinator_domain
             ):
+                if self._leases_enabled():
+                    # Phase 2: hold the member under a short lease so it can
+                    # join the *next* group order once the foreign conflict
+                    # clears, instead of falling back to per-transaction 2PC.
+                    self._grant_lease(transaction, prepare)
+                    continue
                 # Held members fall back to the per-transaction path: they are
                 # queued and ordered (then voted on) individually once the
                 # conflicting foreign-coordinator transaction resolves, so one
@@ -1177,15 +1232,133 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
         if accepted:
             for transaction in accepted:
                 self._part_pending[transaction.tid] = transaction
+            adopted = self._adopt_leases()
             self._pgroup_pending[key] = prepare
-            order = GroupParticipantPrepareOrder(
-                group_id=prepare.group_id,
-                coordinator_domain=prepare.coordinator_domain,
-                coordinator_sequence=prepare.coordinator_sequence,
-                transactions=tuple(accepted),
-            )
+            if adopted:
+                order: GroupParticipantPrepareOrder = (
+                    GroupParticipantPrepareOrderWithLeases(
+                        group_id=prepare.group_id,
+                        coordinator_domain=prepare.coordinator_domain,
+                        coordinator_sequence=prepare.coordinator_sequence,
+                        transactions=tuple(accepted),
+                        adopted=adopted,
+                    )
+                )
+            else:
+                order = GroupParticipantPrepareOrder(
+                    group_id=prepare.group_id,
+                    coordinator_domain=prepare.coordinator_domain,
+                    coordinator_sequence=prepare.coordinator_sequence,
+                    transactions=tuple(accepted),
+                )
             self.node.engine.submit_group(order)
         return True
+
+    # -- conflict leases (control plane, phase 2) ---------------------------------
+
+    def _leases_enabled(self) -> bool:
+        return self.node.config.control.conflict_leases
+
+    def _grant_lease(
+        self, transaction: Transaction, prepare: GroupCrossPrepare
+    ) -> None:
+        tid = transaction.tid
+        lease = self._leased.get(tid)
+        if lease is not None:
+            # A retried group re-carries the member: refresh the attempt's
+            # coordinates but keep the original deadline — a retransmit must
+            # not extend the hold indefinitely.
+            lease.transaction = transaction
+            lease.coordinator_domain = prepare.coordinator_domain
+            lease.coordinator_sequence = prepare.coordinator_sequence
+            return
+        lease_ms = self.node.config.control.lease_ms
+        lease = _ConflictLease(
+            transaction=transaction,
+            coordinator_domain=prepare.coordinator_domain,
+            coordinator_sequence=prepare.coordinator_sequence,
+            deadline=self.node.now() + lease_ms,
+        )
+        self._leased[tid] = lease
+        self.node.record_trace(
+            "control:lease",
+            action="grant",
+            tid=tid,
+            coordinator=prepare.coordinator_domain.name,
+            lease_ms=lease_ms,
+        )
+        lease.timer = self.node.set_timer(
+            lease_ms, lambda: self._expire_lease(tid)
+        )
+
+    def _adopt_leases(self) -> Tuple[AdoptedMember, ...]:
+        """Leased members whose conflict cleared join the order being built.
+
+        Called with the accepted members already in ``_part_pending``, so the
+        conflict re-check also rejects any lease overlapping a groupmate (or
+        an earlier adoptee) — two overlapping members sharing one participant
+        slot would never defer each other's commits, which is exactly the
+        inconsistency the original hold exists to prevent.
+        """
+        if not self._leased:
+            return ()
+        adopted: List[AdoptedMember] = []
+        now = self.node.now()
+        for tid, lease in list(self._leased.items()):
+            if now >= lease.deadline:
+                continue  # the expiry timer owns this lease's fallback
+            if self._conflicts_with_inflight_participation(
+                lease.transaction, lease.coordinator_domain
+            ):
+                continue
+            del self._leased[tid]
+            if lease.timer is not None:
+                lease.timer.cancel()
+            self._part_pending[tid] = lease.transaction
+            adopted.append(
+                AdoptedMember(
+                    transaction=lease.transaction,
+                    coordinator_domain=lease.coordinator_domain,
+                    coordinator_sequence=lease.coordinator_sequence,
+                )
+            )
+        return tuple(adopted)
+
+    def _expire_lease(self, tid: TransactionId) -> None:
+        lease = self._leased.pop(tid, None)
+        if lease is None:
+            return
+        self.node.record_trace(
+            "control:lease",
+            action="expire",
+            tid=tid,
+            coordinator=lease.coordinator_domain.name,
+        )
+        # Fall back to the pre-lease behaviour: queue for the per-transaction
+        # path and drain immediately in case the conflict already cleared.
+        self._part_queue.append(
+            CrossPrepare(
+                transaction=lease.transaction,
+                coordinator_domain=lease.coordinator_domain,
+                coordinator_sequence=lease.coordinator_sequence,
+                request_digest=lease.transaction.request_digest,
+            )
+        )
+        self._drain_participant_queue()
+
+    def _drop_lease(self, tid: TransactionId) -> None:
+        """Cancel a lease whose transaction was resolved elsewhere (abort)."""
+        lease = self._leased.pop(tid, None)
+        if lease is None:
+            return
+        if lease.timer is not None:
+            lease.timer.cancel()
+        self.node.record_trace(
+            "control:lease",
+            action="drop",
+            tid=tid,
+            coordinator=lease.coordinator_domain.name,
+        )
 
     def _decided_group_participant_prepare(
         self, slot: int, order: GroupParticipantPrepareOrder
@@ -1215,6 +1388,32 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             state.prepared = True
             ordered.append(tid)
             self._arm_commit_query_timer(state)
+        # Adopted conflict-leased members (phase 2) share the group's slot
+        # but keep their *own* coordinator: they are voted on individually,
+        # never through the aggregated group vote below.
+        adopted_states: List[_ParticipantState] = []
+        for member in getattr(order, "adopted", ()):
+            tid = member.transaction.tid
+            self._part_pending.pop(tid, None)
+            lease = self._leased.pop(tid, None)
+            if lease is not None and lease.timer is not None:
+                lease.timer.cancel()
+            state = self._part.get(tid)
+            if state is None:
+                state = _ParticipantState(
+                    transaction=member.transaction,
+                    coordinator_domain=member.coordinator_domain,
+                    coordinator_sequence=member.coordinator_sequence,
+                )
+                self._part[tid] = state
+            if state.committed or state.aborted:
+                continue
+            state.coordinator_domain = member.coordinator_domain
+            state.coordinator_sequence = member.coordinator_sequence
+            state.participant_sequence = slot
+            state.prepared = True
+            adopted_states.append(state)
+            self._arm_commit_query_timer(state)
         group = _ParticipantGroupState(
             group_id=order.group_id,
             coordinator_domain=order.coordinator_domain,
@@ -1227,8 +1426,20 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
             return
         if ordered:
             self._send_group_prepared(group)
+        for state in adopted_states:
+            self.node.record_trace(
+                "control:lease",
+                action="adopt",
+                tid=state.transaction.tid,
+                gid=order.group_id,
+                slot=slot,
+                coordinator=state.coordinator_domain.name,
+            )
+            self._send_prepared(state)
         for tid in ordered:
             self._release_dependents(tid)
+        for state in adopted_states:
+            self._release_dependents(state.transaction.tid)
 
     def _send_group_prepared(self, group: _ParticipantGroupState) -> None:
         if not group.tids:
@@ -1380,6 +1591,10 @@ class CoordinatorCrossDomainProtocol(ProtocolComponent):
     ) -> None:
         """Participant-side handling of one aborted transaction (single path
         and grouped path share this; group aborts never touch groupmates)."""
+        if not will_retry:
+            # A final abort resolves a still-leased member: without this the
+            # lease would expire into a prepare for a dead transaction.
+            self._drop_lease(tid)
         if self.node.is_primary:
             # Anything waiting for the aborted transaction's ordering can run.
             self._release_dependents(tid)

@@ -62,6 +62,11 @@ class InternalTransactionProtocol(ProtocolComponent):
         tid = payload.transaction.tid
         if tid in self._in_flight:
             return
+        if self.node.shedding:
+            # Load shedding (control plane, phase 2): refuse *new* admissions
+            # while the valve is on; anything already in flight finishes.
+            self.node.shed_admission(payload.transaction, payload.client_address)
+            return
         self._in_flight.add(tid)
         order = InternalOrder(
             transaction=payload.transaction,

@@ -61,6 +61,8 @@ __all__ = [
     "CoordinatorCommitOrder",
     "GroupPrepareOrder",
     "GroupParticipantPrepareOrder",
+    "AdoptedMember",
+    "GroupParticipantPrepareOrderWithLeases",
     "GroupCommitOrder",
     "OptimisticOrder",
     "BlockOrder",
@@ -506,6 +508,30 @@ class GroupParticipantPrepareOrder:
     coordinator_domain: DomainId
     coordinator_sequence: int
     transactions: Tuple[Transaction, ...]
+
+
+@dataclass(frozen=True)
+class AdoptedMember:
+    """One conflict-leased transaction riding a *foreign* group's order.
+
+    The member keeps its own (home) coordinator identity — the adopting
+    group's coordinator never learns about it; the participant votes for it
+    individually after the shared order decides."""
+
+    transaction: Transaction
+    coordinator_domain: DomainId
+    coordinator_sequence: int
+
+
+@dataclass(frozen=True)
+class GroupParticipantPrepareOrderWithLeases(GroupParticipantPrepareOrder):
+    """A group order additionally carrying adopted conflict-leased members.
+
+    A subclass (rather than a field on the base order) so the base payload's
+    ``repr`` — and with it every static deployment's payload digest — stays
+    byte-identical to deployments built before conflict leases existed."""
+
+    adopted: Tuple[AdoptedMember, ...] = ()
 
 
 @dataclass(frozen=True)

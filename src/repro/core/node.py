@@ -176,6 +176,11 @@ class SaguaroNode:
         #: (e.g. the optimistic protocol exposes per-round aborts and
         #: dependency lists here for the lazy-propagation component).
         self.shared: Dict[str, Any] = {}
+        #: Load-shedding valve, flipped by the control plane under sustained
+        #: decide-latency overrun.  While True, protocols reject *new*
+        #: client admissions through :meth:`shed_admission`; in-flight work
+        #: always finishes.  Never set on static deployments.
+        self.shedding = False
         self._executed: Set[TransactionId] = set()
         self._process_labels: Dict[type, str] = {}
         self._crashed = False
@@ -736,3 +741,31 @@ class SaguaroNode:
     def note_abort(self, tid: TransactionId, reason: str) -> None:
         if self.metrics is not None:
             self.metrics.record_abort(tid, self.simulator.now, reason)
+
+    # ------------------------------------------------------------------ control-plane hooks
+
+    def shed_admission(self, transaction: Transaction, client_address: str) -> None:
+        """Reject one new client admission while the shedding valve is on.
+
+        The transaction is accounted as an abort, traced, and the client is
+        answered with a failed reply — shed work is refused loudly, never
+        silently dropped, which is what the ``shed-accounting`` invariant
+        pass checks.
+        """
+        self.note_abort(transaction.tid, "shed")
+        self.record_trace("control:shed", action="reject", tid=transaction.tid)
+        self.reply_to_client(
+            client_address, transaction, success=False, result={"reason": "shed"}
+        )
+
+    def on_shards_split(self, parent: int, child: int) -> None:
+        """Tell every component the state store re-routed ``parent``'s keys.
+
+        Components caching shard indices (e.g. the optimistic protocol's
+        per-shard taint buckets) re-bucket here so later lookups under the
+        new routing still find their entries.
+        """
+        for component in self.components:
+            hook = getattr(component, "on_shards_split", None)
+            if hook is not None:
+                hook(parent, child)

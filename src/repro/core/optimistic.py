@@ -246,6 +246,33 @@ class OptimisticCrossDomainProtocol(ProtocolComponent):
             ).add(root)
             self._root_shards.setdefault(root, set()).add(shard)
 
+    def on_shards_split(self, parent: int, child: int) -> None:
+        """Re-bucket taints after the state store split ``parent``'s keys.
+
+        Taint buckets are keyed by shard so lookups and cleanup can stay
+        footprint-local; a split re-routes some of ``parent``'s keys to
+        ``child``, so their taints must follow or later lookups under the
+        new routing would miss them.
+        """
+        bucket = self._tainted_by_shard.get(parent)
+        if not bucket:
+            return
+        moved = {
+            key: roots
+            for key, roots in bucket.items()
+            if self._shard_of(key) == child
+        }
+        if not moved:
+            return
+        for key in moved:
+            del bucket[key]
+        if not bucket:
+            del self._tainted_by_shard[parent]
+        self._tainted_by_shard.setdefault(child, {}).update(moved)
+        for roots in moved.values():
+            for root in roots:
+                self._root_shards.setdefault(root, set()).add(child)
+
     def _untaint_root(self, root: TransactionId) -> None:
         # Undo cleanup crosses only the shards this root ever tainted.
         for shard in sorted(self._root_shards.pop(root, ())):

@@ -60,6 +60,28 @@ meaningful:
     and every recovered replica's final state is bit-identical to a fresh
     serial replay of its committed ledger entries.  Checked only when the
     trace carries ``fault:wipe`` or ``recovery:*`` events.
+``lease-safety``
+    Phase-2 conflict leases resolve exactly once and correctly: every
+    ``control:lease`` event is well-formed, per (node, tid) the lifecycle is
+    legal (adopt/expire/drop always resolve an open grant), and every
+    adoption is backed by an individual ``handoff:prepared`` at the adopted
+    group's participant slot.  Checked only when the trace carries
+    ``control:lease`` events.
+``split-partition``
+    Phase-2 shard splits preserve the state partition: split events are
+    well-formed (fresh child index, parent ≠ child), every live state store
+    that split still passes a full partition audit
+    (:meth:`~repro.ledger.state.StateStore.verify_partition`), and in a
+    fault-free run replicas of one domain perform the same splits in the
+    same order (prefix rule).  Checked only when the trace carries
+    ``control:split`` events.
+``shed-accounting``
+    Phase-2 load shedding never eats a transaction: per node the valve
+    events alternate (``on`` then ``off``, starting closed), each ``on``
+    reports an overrun streak of at least the configured
+    ``shed_after_windows``, every ``reject`` happens while the valve is on
+    and names a tid, and a rejected tid was not already applied on that
+    node.  Checked only when the trace carries ``control:shed`` events.
 ``liveness`` (optional)
     Every issued transaction reached a final state (committed or aborted);
     checked only when the fault plan leaves each domain within its fault
@@ -171,6 +193,15 @@ class InvariantChecker:
             ):
                 checks.append("recovery-safety")
                 violations += self._check_recovery_safety()
+            if self.trace.events("control:lease"):
+                checks.append("lease-safety")
+                violations += self._check_conflict_leases()
+            if self.trace.events("control:split"):
+                checks.append("split-partition")
+                violations += self._check_shard_splits()
+            if self.trace.events("control:shed"):
+                checks.append("shed-accounting")
+                violations += self._check_load_shedding()
         if expect_liveness:
             checks.append("liveness")
             violations += self._check_liveness()
@@ -528,29 +559,43 @@ class InvariantChecker:
         append at decide time (e.g. cross-domain prepares, which append when
         the coordinator's commit arrives) are exempt here and covered by the
         cross-atomicity check.
+
+        A transaction may legally be *ordered* twice (a retransmission under
+        an equivocating primary lands the same tid in a later batch; the
+        apply path dedups against the ledger so it appends once).  Each
+        append is therefore attributed to at most one batch — the earliest
+        batch-decide recorded before it — so a duplicate tid in a later
+        batch, deciding at the same catch-up instant, is not miscounted as
+        one of that batch's appends.
         """
         violations: List[InvariantViolation] = []
         assert self.trace is not None
-        appends_by_node: Dict[str, List[Tuple[float, Optional[str]]]] = {}
+        appends_by_node: Dict[str, List[Tuple[int, float, Optional[str]]]] = {}
         for event in self.trace.events("append"):
             if event.node is None:
                 continue
             appends_by_node.setdefault(event.node, []).append(
-                (event.at_ms, event.tid)
+                (event.seq, event.at_ms, event.tid)
             )
+        claimed: Dict[str, Set[int]] = {}
         for event in self.trace.events("batch-decide"):
             batch_tids = [tid for tid in event.get("tids", ()) if tid]
             if not batch_tids or event.node is None:
                 continue
             tid_set = set(batch_tids)
             node_appends = appends_by_node.get(event.node, [])
+            taken = claimed.setdefault(event.node, set())
             positions = [
                 (index, tid)
-                for index, (at_ms, tid) in enumerate(node_appends)
-                if at_ms == event.at_ms and tid in tid_set
+                for index, (seq, at_ms, tid) in enumerate(node_appends)
+                if at_ms == event.at_ms
+                and tid in tid_set
+                and seq > event.seq
+                and index not in taken
             ]
             if not positions:
                 continue  # nothing appended at decide time (aborted as a unit)
+            taken.update(index for index, _ in positions)
             indices = [index for index, _ in positions]
             if indices != list(range(indices[0], indices[0] + len(indices))):
                 violations.append(
@@ -964,6 +1009,247 @@ class InvariantChecker:
                             ),
                         )
                     )
+        return violations
+
+    # ------------------------------------------------------------------ control plane (phase 2)
+
+    def _check_conflict_leases(self) -> List[InvariantViolation]:
+        """Conflict leases resolve exactly once, and adoptions are real.
+
+        Replays the ``control:lease`` stream per (node, tid): a lease opens
+        with ``grant`` and closes with exactly one of ``adopt`` / ``expire``
+        / ``drop`` (a closed lease may be re-granted later — the member was
+        re-offered and conflicted again).  Every adoption must be backed by
+        an individual ``handoff:prepared`` on the same node for the adopted
+        tid at the group's participant slot — the adoptee shares the group's
+        slot but votes through its *own* coordinator, so a missing or
+        mis-slotted prepared vote means the adoption was cosmetic.  When the
+        adopting group also ordered regular members, its
+        ``handoff:group-prepared`` must carry the same slot.
+        """
+        violations: List[InvariantViolation] = []
+        assert self.trace is not None
+
+        prepared_slots: Dict[Tuple[str, str], Set[Optional[int]]] = {}
+        for event in self.trace.events("handoff:prepared"):
+            if event.node is None or event.tid is None:
+                continue
+            prepared_slots.setdefault((event.node, event.tid), set()).add(event.slot)
+        group_slots: Dict[Tuple[str, Any], Set[Optional[int]]] = {}
+        for event in self.trace.events("handoff:group-prepared"):
+            if event.node is None:
+                continue
+            group_slots.setdefault((event.node, event.get("gid")), set()).add(
+                event.slot
+            )
+
+        def _blame(event: Any, detail: str) -> None:
+            violations.append(
+                InvariantViolation(
+                    invariant="lease-safety",
+                    domain=event.domain,
+                    tid=event.tid,
+                    detail=f"{event.node}: {detail}",
+                )
+            )
+
+        open_leases: Set[Tuple[Optional[str], Optional[str]]] = set()
+        for event in sorted(self.trace.events("control:lease"), key=lambda e: e.seq):
+            action = event.get("action")
+            key = (event.node, event.tid)
+            if action not in ("grant", "adopt", "expire", "drop") or event.tid is None:
+                _blame(event, f"malformed lease event (action={action!r})")
+                continue
+            if action == "grant":
+                if key in open_leases:
+                    _blame(event, "granted while an earlier lease is still open")
+                open_leases.add(key)
+                continue
+            if key not in open_leases:
+                _blame(event, f"lease {action} without an open grant")
+                continue
+            open_leases.discard(key)
+            if action != "adopt":
+                continue
+            slot = event.slot
+            if slot not in prepared_slots.get((event.node, event.tid), set()):
+                _blame(
+                    event,
+                    f"adopted into slot {slot} but no individual "
+                    "handoff:prepared vote was sent at that slot",
+                )
+            gid = event.get("gid")
+            slots = group_slots.get((event.node, gid))
+            if slots and slots != {slot}:
+                _blame(
+                    event,
+                    f"adopted into group {gid} at slot {slot} but the group "
+                    f"prepared at slot(s) {sorted(slots)}",
+                )
+        return violations
+
+    def _check_shard_splits(self) -> List[InvariantViolation]:
+        """Shard splits preserve the state partition and replica agreement.
+
+        * per node the ``control:split`` events are well-formed: every new
+          child shard index is fresh (strictly above all earlier child
+          indices on that node) and distinct from its parent;
+        * every live state store on a node that traced splits still passes a
+          full partition audit — each write-log record and version routes to
+          the shard that holds it, no version is duplicated, and the
+          per-shard logs sum to the global write count;
+        * in a fault-free run, replicas of one domain perform the same
+          splits in the same order (a lagging replica may be behind, but
+          never divergent) — splitting is driven by the deterministic
+          cumulative write distribution, so disagreement means the replicas
+          executed different histories.
+        """
+        violations: List[InvariantViolation] = []
+        assert self.trace is not None
+        events = sorted(self.trace.events("control:split"), key=lambda e: e.seq)
+        by_node: Dict[str, List[Any]] = {}
+        for event in events:
+            if event.node is not None:
+                by_node.setdefault(event.node, []).append(event)
+
+        def _blame(domain: Optional[str], detail: str) -> None:
+            violations.append(
+                InvariantViolation(
+                    invariant="split-partition", domain=domain, detail=detail
+                )
+            )
+
+        for node_name, node_events in sorted(by_node.items()):
+            highest_child: Optional[int] = None
+            for event in node_events:
+                parent = event.get("shard")
+                child = event.get("child")
+                if parent is None or child is None or parent == child:
+                    _blame(
+                        event.domain,
+                        f"{node_name}: malformed split event "
+                        f"(shard={parent!r}, child={child!r})",
+                    )
+                    continue
+                if highest_child is not None and child <= highest_child:
+                    _blame(
+                        event.domain,
+                        f"{node_name}: child shard {child} reuses an index "
+                        f"(an earlier split already created shard "
+                        f"{highest_child})",
+                    )
+                highest_child = child if highest_child is None else max(
+                    highest_child, child
+                )
+
+        for domain in self.hierarchy.height1_domains():
+            for node in self.deployment.nodes_of(domain.id):
+                if node.address not in by_node:
+                    continue
+                state = getattr(node, "state", None)
+                if state is None or not getattr(state, "split_count", 0):
+                    continue  # wiped/rebuilt store — splits were discarded
+                for problem in state.verify_partition():
+                    _blame(domain.id.name, f"{node.address}: {problem}")
+
+        if not self.trace.events_with_prefix("fault:"):
+            by_domain: Dict[str, Dict[str, List[Tuple[Any, Any]]]] = {}
+            for node_name, node_events in by_node.items():
+                domain_name = node_events[0].domain
+                by_domain.setdefault(domain_name, {})[node_name] = [
+                    (event.get("shard"), event.get("child"))
+                    for event in node_events
+                ]
+            for domain_name, per_node in sorted(by_domain.items()):
+                longest_node = max(per_node, key=lambda name: len(per_node[name]))
+                longest = per_node[longest_node]
+                for node_name, sequence in sorted(per_node.items()):
+                    if sequence != longest[: len(sequence)]:
+                        _blame(
+                            domain_name,
+                            f"{node_name} split {sequence} which is not a "
+                            f"prefix of {longest_node}'s splits {longest}",
+                        )
+        return violations
+
+    def _check_load_shedding(self) -> List[InvariantViolation]:
+        """Load-shedding decisions are well-formed and never eat a transaction.
+
+        Replays the ``control:shed`` stream per node: the admission valve
+        alternates ``on`` / ``off`` starting closed, every ``on`` reports an
+        overrun streak of at least the node's configured
+        ``shed_after_windows``, and every ``reject`` happens while the valve
+        is on and names a tid that was not already applied on that node
+        (shedding an already-committed transaction would lose its reply;
+        re-admission and commit *after* a reject is the designed recovery
+        path and is legal).
+        """
+        violations: List[InvariantViolation] = []
+        assert self.trace is not None
+        first_append: Dict[Tuple[str, str], int] = {}
+        for event in self.trace.events("append"):
+            if event.node is None or event.tid is None:
+                continue
+            key = (event.node, event.tid)
+            if key not in first_append or event.seq < first_append[key]:
+                first_append[key] = event.seq
+
+        by_node: Dict[str, List[Any]] = {}
+        for event in self.trace.events("control:shed"):
+            if event.node is not None:
+                by_node.setdefault(event.node, []).append(event)
+
+        def _blame(event: Any, detail: str) -> None:
+            violations.append(
+                InvariantViolation(
+                    invariant="shed-accounting",
+                    domain=event.domain,
+                    tid=event.tid,
+                    detail=f"{event.node}: {detail}",
+                )
+            )
+
+        for node_name, node_events in sorted(by_node.items()):
+            sim_node = self.deployment.nodes.get(node_name)
+            min_windows = (
+                sim_node.config.control.shed_after_windows
+                if sim_node is not None
+                else 1
+            )
+            valve_on = False
+            for event in sorted(node_events, key=lambda e: e.seq):
+                action = event.get("action")
+                if action == "on":
+                    if valve_on:
+                        _blame(event, "valve turned on twice without an off")
+                    valve_on = True
+                    windows = event.get("windows")
+                    if windows is None or windows < min_windows:
+                        _blame(
+                            event,
+                            f"valve opened after {windows!r} overrun "
+                            f"window(s); policy requires {min_windows}",
+                        )
+                elif action == "off":
+                    if not valve_on:
+                        _blame(event, "valve turned off while already off")
+                    valve_on = False
+                elif action == "reject":
+                    if not valve_on:
+                        _blame(event, "admission rejected while the valve is off")
+                    if event.tid is None:
+                        _blame(event, "reject event without a tid")
+                    elif (
+                        first_append.get((node_name, event.tid), event.seq)
+                        < event.seq
+                    ):
+                        _blame(
+                            event,
+                            "rejected a transaction already applied on "
+                            "this node",
+                        )
+                else:
+                    _blame(event, f"malformed shed event (action={action!r})")
         return violations
 
     # ------------------------------------------------------------------ liveness

@@ -30,6 +30,15 @@ Modes (the dispatch is table-driven; add a mode by adding one entry):
     zipf-sweep run plus hostile scenarios with controllers resizing batches,
     2PC groups, and the shard -> lane map online — proving every safety
     invariant holds while the knobs move mid-run.
+``control2``
+    The phase-2 control plane armed: the white-hot ``zipf-hot-split`` run
+    (shard splitting under a skew whole-shard moves cannot fix), the
+    ``lease-rejoin`` run (conflict leases granting and adopting held-back
+    group members), a load-shedding run with an unreachable latency target,
+    and the white-hot run again under an equivocating primary — proving the
+    ``lease-safety``, ``split-partition``, and ``shed-accounting`` invariant
+    passes (and every pre-existing one) hold while shards split, leases
+    move members between groups, and the admission valve flips mid-run.
 ``pipeline``
     Speculative out-of-order execution armed (``speculation=True``): a
     scaled pipeline-sweep run whose stalled slots force speculation to
@@ -69,7 +78,12 @@ def _default_checks() -> List[Scenario]:
 def _batch_checks() -> List[Scenario]:
     batched = dict(batch_size=8, batch_timeout_ms=2.0)
     return [
-        registry.get("byz-equivocation").with_overrides(**batched),
+        # batch_size=2 under equivocation is the historical event-storm
+        # configuration (forged-payload refusal wedged a replica forever);
+        # run it at full size now that honest decide echoes override.
+        registry.get("byz-equivocation").with_overrides(
+            batch_size=2, batch_timeout_ms=2.0
+        ),
         registry.get("byz-crash-recover").with_overrides(**batched),
     ]
 
@@ -109,6 +123,49 @@ def _control_checks() -> List[Scenario]:
         ),
         registry.get("byz-partition-flap").with_overrides(
             control=adaptive, xdomain_batch_size=4
+        ),
+    ]
+
+
+def _control2_checks() -> List[Scenario]:
+    from dataclasses import replace
+
+    from repro.control.policy import ControlPolicy
+    from repro.faults.plan import FaultAction, FaultPlan
+
+    hot_split = registry.get("zipf-hot-split")
+    # All three phase-2 mechanisms armed at once (leases are inert on this
+    # internal-only topology; the loose shed target keeps the valve shut
+    # unless something regresses badly — arming it checks the wiring).
+    armed = replace(hot_split.control, shed=True, shed_after_windows=6)
+    shedding = ControlPolicy(
+        policy="adaptive",
+        interval_ms=2.0,
+        batch_increase=16,
+        # An unreachable decide-latency target: every window overruns, the
+        # valve must open, reject admissions, and close once the closed-loop
+        # clients drain — exercising the shed-accounting pass end to end.
+        target_decide_latency_ms=0.5,
+        shed=True,
+        shed_after_windows=2,
+    )
+    equivocating = FaultPlan(
+        name="zipf-hot-equivocate",
+        actions=(
+            FaultAction(kind="equivocate", at_ms=10.0, domain="D11", until_ms=400.0),
+        ),
+    )
+    return [
+        hot_split.with_overrides(control=armed),
+        registry.get("lease-rejoin"),
+        registry.get("zipf-hot-nosplit").with_overrides(
+            name="zipf-shed", num_transactions=300, control=shedding
+        ),
+        hot_split.with_overrides(
+            name="zipf-hot-equivocate",
+            num_transactions=300,
+            control=armed,
+            fault_plan=equivocating,
         ),
     ]
 
@@ -174,6 +231,7 @@ MODES: Dict[str, Callable[[], List[Scenario]]] = {
     "xbatch": _xbatch_checks,
     "shard": _shard_checks,
     "control": _control_checks,
+    "control2": _control2_checks,
     "pipeline": _pipeline_checks,
     "recovery": _recovery_checks,
 }
@@ -244,6 +302,16 @@ def main(mode: str = "default") -> int:
             )
         if scenario.control.enabled:
             knobs += f" control={scenario.control.policy}"
+            if trace is not None:
+                phase2 = {
+                    kind: len(trace.events(f"control:{kind}"))
+                    for kind in ("lease", "split", "shed")
+                }
+                knobs += "".join(
+                    f" {kind}_events={count}"
+                    for kind, count in phase2.items()
+                    if count
+                )
         if scenario.speculation:
             spec_count = (
                 len(trace.events_with_prefix("spec:")) if trace is not None else 0

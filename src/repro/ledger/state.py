@@ -48,6 +48,19 @@ def shard_of_key(key: str, shards: int) -> int:
     return zlib.crc32(key.encode("utf-8")) % shards
 
 
+def _replace_leaf(node: Any, leaf: int, replacement: Any) -> Tuple[Any, bool]:
+    """Replace the routing-trie leaf ``leaf`` with ``replacement`` (once)."""
+    if isinstance(node, int):
+        if node == leaf:
+            return replacement, True
+        return node, False
+    left, found = _replace_leaf(node[0], leaf, replacement)
+    if found:
+        return [left, node[1]], True
+    right, found = _replace_leaf(node[1], leaf, replacement)
+    return [node[0], right], found
+
+
 class _Shard:
     """One account shard's versioned bookkeeping.
 
@@ -78,6 +91,13 @@ class StateStore:
         self._data: Dict[str, Any] = {}
         self._version = 0
         self._shards: Tuple[_Shard, ...] = tuple(_Shard() for _ in range(shards))
+        #: Key routing.  While empty, keys route by ``shard_of_key`` over the
+        #: original shard count (the historical fast path, bit-identical to
+        #: pre-split stores).  After the first :meth:`split_shard` it becomes
+        #: a per-base-slot trie whose inner nodes branch on successive bits
+        #: of ``crc32(key) // base`` and whose leaves are shard indices.
+        self._base = shards
+        self._routing: List[Any] = []
         #: Global per-key latest-version map (versions are global, so one map
         #: serves every shard): delta extraction filters superseded writes
         #: without re-hashing each merged record back to its shard.
@@ -98,9 +118,27 @@ class StateStore:
     def shard_count(self) -> int:
         return len(self._shards)
 
+    @property
+    def base_shards(self) -> int:
+        """The configured shard count before any splits."""
+        return self._base
+
+    @property
+    def split_count(self) -> int:
+        """How many :meth:`split_shard` calls this store has absorbed."""
+        return len(self._shards) - self._base
+
     def shard_of(self, key: str) -> int:
         """The shard ``key`` lives in (stable across runs and processes)."""
-        return shard_of_key(key, len(self._shards))
+        if not self._routing:
+            return shard_of_key(key, self._base)
+        digest = zlib.crc32(key.encode("utf-8"))
+        node: Any = self._routing[digest % self._base]
+        bits = digest // self._base
+        while not isinstance(node, int):
+            node = node[bits & 1]
+            bits >>= 1
+        return node
 
     def shards_of(self, keys: Iterable[str]) -> Tuple[int, ...]:
         """Sorted distinct shards the given keys live in (the *footprint*)."""
@@ -139,6 +177,84 @@ class StateStore:
             raise StateError(
                 f"{self._name}: shard {shard} outside [0, {len(self._shards)})"
             )
+
+    # -- shard splitting ----------------------------------------------------------
+
+    def split_shard(self, parent: int) -> int:
+        """Split ``parent``'s key range in two; returns the new child's index.
+
+        Keys currently routed to ``parent`` re-partition by the next unused
+        bit of their hash: roughly half stay, the rest move to the child
+        shard (index ``shard_count`` before the call).  Both shards inherit
+        the parent's write-log entries for their own keys — per-shard logs
+        stay version-sorted, the global version counter and key-value
+        content are untouched, and ``delta_since``/``write_log`` merges are
+        unchanged — so the split only redirects *future* bookkeeping (and
+        with it execution-lane placement), never commit order.
+        """
+        self._check_shard(parent)
+        if not self._routing:
+            self._routing = list(range(self._base))
+        child_index = len(self._shards)
+        child = _Shard()
+        self._shards = (*self._shards, child)
+        for slot, node in enumerate(self._routing):
+            replaced, found = _replace_leaf(node, parent, [parent, child_index])
+            if found:
+                self._routing[slot] = replaced
+                break
+        else:  # pragma: no cover - _check_shard already rejects bad indices
+            raise StateError(f"{self._name}: shard {parent} is not routable")
+        source = self._shards[parent]
+        keep = _Shard()
+        for record, version in zip(source.log, source.versions):
+            target = keep if self.shard_of(record.key) == parent else child
+            target.log.append(record)
+            target.versions.append(version)
+            target.latest_version[record.key] = version
+        shards = list(self._shards)
+        shards[parent] = keep
+        self._shards = tuple(shards)
+        return child_index
+
+    def verify_partition(self) -> Tuple[str, ...]:
+        """Check the shards exactly partition the bookkeeping (post-split).
+
+        Returns human-readable violations (empty tuple = store is sound):
+        every log record and latest-version entry must sit in the shard its
+        key routes to, no version may appear twice, and the per-shard logs
+        must sum to the global version counter.
+        """
+        problems: List[str] = []
+        seen_versions: set = set()
+        total_records = 0
+        for index, shard in enumerate(self._shards):
+            total_records += len(shard.log)
+            for record in shard.log:
+                route = self.shard_of(record.key)
+                if route != index:
+                    problems.append(
+                        f"record v{record.version} ({record.key!r}) sits in "
+                        f"shard {index} but routes to {route}"
+                    )
+                if record.version in seen_versions:
+                    problems.append(
+                        f"version {record.version} appears in two shards"
+                    )
+                seen_versions.add(record.version)
+            for key in shard.latest_version:
+                route = self.shard_of(key)
+                if route != index:
+                    problems.append(
+                        f"latest-version entry {key!r} sits in shard {index} "
+                        f"but routes to {route}"
+                    )
+        if total_records != self._version:
+            problems.append(
+                f"shard logs hold {total_records} records, version counter "
+                f"is {self._version}"
+            )
+        return tuple(problems)
 
     def __contains__(self, key: str) -> bool:
         return key in self._data

@@ -57,6 +57,8 @@ __all__ = [
     "CHURN_SWEEP_SCENARIOS",
     "ZIPF_SWEEP_BATCHES",
     "ZIPF_SWEEP_SCENARIOS",
+    "ZIPF_HOT_SKEW",
+    "CONTROL2_SCENARIOS",
     "SCALE100_DOMAINS",
     "SCALE100_NODES",
     "SCALE100_SCENARIOS",
@@ -583,6 +585,103 @@ def _register_zipf_sweep() -> None:
 
 
 _register_zipf_sweep()
+
+
+# ---------------------------------------------------------------------------
+# Control plane phase 2 (the fig_control2 scenario family)
+# ---------------------------------------------------------------------------
+
+#: Skew of the white-hot workload: at 1.4 over two base shards, one shard
+#: carries nearly all writes — whole-shard rebalancing has nowhere to move
+#: it, so shard *splitting* is the only mechanism that can spread the heat.
+ZIPF_HOT_SKEW = 1.4
+
+#: Scenario names of the phase-2 family.
+CONTROL2_SCENARIOS: Tuple[str, ...] = (
+    "zipf-hot-nosplit",
+    "zipf-hot-split",
+    "lease-rejoin",
+)
+
+
+def _register_control2() -> None:
+    """The phase-2 control-plane family: shard splitting and conflict leases.
+
+    ``zipf-hot-*`` is the zipf sweep pushed past what whole-shard moves can
+    fix: only **two** base shards over four lanes at ``zipf_skew=1.4``, so
+    the hot shard is its lane's single resident and the PR 6 rebalancer's
+    single-resident guard blocks every move.  ``zipf-hot-nosplit`` runs the
+    plain adaptive plane (the PR 6 best case) and livelocks politely on the
+    guard; ``zipf-hot-split`` additionally arms shard splitting (and
+    conflict leases, inert on this internal-only topology) and must beat it
+    by splitting the white-hot shard's key range between execution windows.
+
+    ``lease-rejoin`` exercises the conflict-lease path: three-domain
+    transactions on a branching-3 tree give overlapping transactions
+    *different* LCA coordinators, so a participant can be held back by a
+    foreign coordinator's in-flight conflict.  With leases armed the held
+    member re-joins a following group (``control:lease`` grant/adopt) or
+    falls back to the per-transaction path on expiry — never silently stuck.
+    """
+    from dataclasses import replace as _replace
+
+    adaptive = ControlPolicy(
+        policy="adaptive",
+        interval_ms=2.0,
+        batch_increase=16,
+        target_decide_latency_ms=250.0,
+    )
+    hot = get("zipf-sweep-adaptive").with_overrides(
+        name="zipf-hot-nosplit",
+        num_transactions=600,
+        num_clients=24,
+        state_shards=2,
+        execution_lanes=4,
+        zipf_skew=ZIPF_HOT_SKEW,
+        seeds=(1,),
+        control=adaptive,
+    )
+    register("zipf-hot-nosplit", hot)
+    register(
+        "zipf-hot-split",
+        hot.with_overrides(
+            name="zipf-hot-split",
+            control=_replace(
+                adaptive,
+                conflict_leases=True,
+                split_shards=True,
+                split_after_blocked=2,
+                max_splits=8,
+            ),
+        ),
+    )
+    lease_base = get("xbatch-sweep-g008")
+    register(
+        "lease-rejoin",
+        lease_base.with_overrides(
+            name="lease-rejoin",
+            topology=_replace(lease_base.topology, branching=3),
+            involved_domains=3,
+            cross_domain_ratio=0.9,
+            num_transactions=200,
+            num_clients=48,
+            xdomain_batch_size=3,
+            seeds=(4,),
+            control=ControlPolicy(
+                policy="adaptive",
+                interval_ms=2.0,
+                target_decide_latency_ms=250.0,
+                conflict_leases=True,
+                # Generous relative to the WAN commit latencies that clear
+                # the foreign conflict — a lease shorter than a cross-domain
+                # round trip can only ever expire.
+                lease_ms=3000.0,
+            ),
+        ),
+    )
+
+
+_register_control2()
 
 
 # ---------------------------------------------------------------------------

@@ -234,13 +234,44 @@ def test_batch_sweep_family_is_registered():
 @pytest.mark.parametrize("name", registry.ADVERSARIAL_SCENARIOS)
 def test_adversarial_scenarios_stay_safe_with_batching(name):
     scenario = registry.get(name).with_overrides(
-        num_transactions=32, num_clients=6, batch_size=4, batch_timeout_ms=2.0
+        num_transactions=32, num_clients=6, batch_size=2, batch_timeout_ms=2.0
     )
     run = ScenarioRunner(check_invariants=True).execute(scenario)
     assert run.summary is not None
     report = run.check_invariants()
     assert report.ok
     assert "batch-atomicity" in report.checks_run
+
+
+def test_batched_equivocation_storm_stays_fixed():
+    """byz-equivocation at ``batch_size=2`` is the historical event storm.
+
+    A replica that adopted the equivocating primary's forged payload used to
+    refuse the honest decide echo forever; the stuck transaction kept the
+    closed-loop client (and with it the whole run) alive to the simulated-time
+    cap, and the block-propagation rounds amplified the idle time into ~7M
+    events over ~150 wall seconds.  With the f+1 distinct-echo override the
+    run completes in milliseconds.  Gate events-per-committed-transaction so
+    any regression on the storming path fails loudly instead of timing out CI:
+    the fixed run measures ~330 events/tx, the storm measured ~65,000.
+    """
+    scenario = registry.get("byz-equivocation").with_overrides(
+        num_transactions=32, num_clients=6, batch_size=2, batch_timeout_ms=2.0
+    )
+    run = ScenarioRunner(check_invariants=True).execute(scenario)
+    summary = run.summary
+    assert summary is not None and summary.committed > 0
+    assert summary.pending == 0
+    events_per_tx = len(run.trace) / summary.committed
+    assert events_per_tx < 2000, (
+        f"byz-equivocation @ batch_size=2 regressed: "
+        f"{events_per_tx:.0f} trace events per committed transaction"
+    )
+    # The storm's signature was a wedged replica re-querying forever: the
+    # honest echoes must win within a handful of observations per forgery.
+    kinds = run.trace.kinds()
+    assert kinds.get("echo-adopt", 0) > 0
+    assert kinds.get("equivocation-observed", 0) < 200
 
 
 def test_batched_run_emits_batch_events_and_checks_atomicity():
@@ -369,9 +400,14 @@ PRE_REFACTOR_GOLDENS = {
         "events_executed": 36850,
     },
     "byz-equivocation": {
+        # Trace digest re-recorded when decide-echo refusal became overridable
+        # by f+1 distinct echoes (the batched-equivocation storm fix): replicas
+        # wedged on a forged payload now adopt the honest decision, adding a
+        # handful of echo-adopt events.  The result digest — every committed/
+        # aborted outcome and the performance summary — is unchanged.
         "result_sha256": "ea33194884d79bdcc09efa1fa0fb2a43b7ab6c5e27b19cb28fdf3dde25792ffe",
-        "trace_sha256": "850ba32173ce0319bf94982980b969dc95235c45ebc0ea8025c8126ac395ac72",
-        "events_executed": 32767,
+        "trace_sha256": "4dd1fe34fd1a18fb0e13fe200c7d7af738986a7cf2e0cf932efeddefe9b2a5bf",
+        "events_executed": 32780,
     },
 }
 

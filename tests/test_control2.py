@@ -1,0 +1,549 @@
+"""Control plane phase 2: conflict leases, shard splitting, load shedding.
+
+Five layers of coverage:
+
+* the configuration surface: phase-2 :class:`ControlPolicy` knobs require an
+  adaptive policy, reject degenerate values, and survive the JSON round trip;
+* unit tests for :meth:`StateStore.split_shard` (stable re-hash of only the
+  parent's keys, write-log carry-over in version order, nested splits, the
+  ``verify_partition`` audit catching corruption) and for the
+  :class:`LaneRebalancer`'s ``blocked_shard`` report (the plane's split-or-
+  back-off signal);
+* checker self-tests: forged ``control:lease`` / ``control:split`` /
+  ``control:shed`` traces that the ``lease-safety``, ``split-partition``,
+  and ``shed-accounting`` invariant passes must flag (and legal traces they
+  must not);
+* end to end: the white-hot ``zipf-hot-split`` run splits and stays
+  invariant-clean, the blocked rebalancer backs off exponentially instead of
+  re-evaluating every window (the PR 6 livelock), ``lease-rejoin`` grants
+  and adopts conflict leases, and a starved latency target flips the
+  admission valve without losing a transaction;
+* the differential gate: with every phase-2 knob off, 10 static and 10
+  adaptive seeds are bit-identical (result and trace digests) to the PR 9
+  tree, captured there before any phase-2 code existed.
+"""
+
+import hashlib
+import json
+from collections import Counter
+
+import pytest
+
+from repro.control.controllers import LaneRebalancer
+from repro.control.policy import ControlPolicy
+from repro.errors import ConfigurationError, StateError
+from repro.faults import InvariantChecker, TraceRecorder
+from repro.ledger.state import StateStore
+from repro.scenarios import ScenarioRunner, registry
+from tests.conftest import make_deployment
+
+
+# ---------------------------------------------------------------------------
+# Configuration surface
+# ---------------------------------------------------------------------------
+
+
+def test_phase2_knobs_require_an_adaptive_policy():
+    for knob in ({"conflict_leases": True}, {"split_shards": True}, {"shed": True}):
+        with pytest.raises(ConfigurationError):
+            ControlPolicy(**knob)
+    armed = ControlPolicy(
+        policy="adaptive", conflict_leases=True, split_shards=True, shed=True
+    )
+    assert armed.enabled
+
+
+def test_phase2_knobs_reject_degenerate_values():
+    bad = (
+        {"conflict_leases": True, "lease_ms": 0.0},
+        {"conflict_leases": True, "lease_ms": float("inf")},
+        {"split_shards": True, "split_after_blocked": 0},
+        {"split_shards": True, "max_splits": 0},
+        {"shed": True, "shed_after_windows": 0},
+    )
+    for kwargs in bad:
+        with pytest.raises(ConfigurationError):
+            ControlPolicy(policy="adaptive", **kwargs)
+
+
+def test_phase2_policy_json_round_trip():
+    policy = ControlPolicy(
+        policy="adaptive",
+        conflict_leases=True,
+        lease_ms=123.0,
+        split_shards=True,
+        split_after_blocked=2,
+        max_splits=5,
+        shed=True,
+        shed_after_windows=3,
+    )
+    data = policy.to_dict()
+    for key in ("conflict_leases", "lease_ms", "split_shards", "shed"):
+        assert key in data
+    assert ControlPolicy.from_dict(data) == policy
+
+
+def test_control2_scenario_family_is_registered():
+    for name in registry.CONTROL2_SCENARIOS:
+        registry.get(name)
+    split = registry.get("zipf-hot-split")
+    nosplit = registry.get("zipf-hot-nosplit")
+    assert split.control.split_shards and split.control.conflict_leases
+    assert not nosplit.control.split_shards
+    assert split.workload.zipf_skew == registry.ZIPF_HOT_SKEW
+    lease = registry.get("lease-rejoin")
+    assert lease.control.conflict_leases
+    assert lease.topology.branching == 3
+    assert lease.workload.involved_domains == 3
+
+
+def test_control2_smoke_mode_is_registered():
+    from repro.faults.smoke import MODES
+
+    assert "control2" in MODES
+
+
+# ---------------------------------------------------------------------------
+# Unit level: StateStore.split_shard
+# ---------------------------------------------------------------------------
+
+
+def _warm_store(shards=2, keys=48):
+    store = StateStore(shards=shards)
+    for index in range(keys):
+        store.put(f"acct/{index:03d}", float(index))
+    return store
+
+
+def _hottest_shard(store):
+    counts = store.shard_write_counts()
+    return counts.index(max(counts))
+
+
+def test_split_shard_rehashes_only_the_parents_keys():
+    store = _warm_store(shards=4)
+    before = {key: store.shard_of(key) for key in store.keys()}
+    parent = _hottest_shard(store)
+    child = store.split_shard(parent)
+    assert child == 4  # first split appends past the base slots
+    assert store.shard_count == 5
+    assert store.base_shards == 4 and store.split_count == 1
+    moved = 0
+    for key, old in before.items():
+        new = store.shard_of(key)
+        if old != parent:
+            assert new == old  # foreign shards are untouched
+        else:
+            assert new in (parent, child)
+            moved += new == child
+    assert moved > 0  # the split actually spread the range
+    assert store.verify_partition() == ()
+
+
+def test_split_preserves_content_versions_and_log_order():
+    store = _warm_store(shards=2)
+    values = {key: store.read(key) for key in store.keys()}
+    version = store.version
+    child = store.split_shard(0)
+    assert store.version == version  # the counter never rewinds
+    for key, value in values.items():
+        assert store.read(key) == value
+    # The global merged log is still one run of versions 1..N, and every
+    # per-shard record now routes to the shard whose log holds it.
+    log = store.write_log()
+    assert [record.version for record in log] == list(range(1, version + 1))
+    for shard in range(store.shard_count):
+        for record in store.write_log(shards=[shard]):
+            assert store.shard_of(record.key) == shard
+    assert child == 2
+
+
+def test_nested_splits_keep_the_partition_sound():
+    store = _warm_store(shards=2, keys=96)
+    first = store.split_shard(_hottest_shard(store))
+    second = store.split_shard(first)  # split the child again
+    third = store.split_shard(_hottest_shard(store))
+    assert (first, second, third) == (2, 3, 4)
+    assert store.split_count == 3 and store.shard_count == 5
+    assert store.verify_partition() == ()
+    store.put("acct/fresh", 1.0)  # post-split writes route consistently
+    assert store.verify_partition() == ()
+
+
+def test_split_rejects_out_of_range_shards():
+    store = _warm_store()
+    with pytest.raises(StateError):
+        store.split_shard(99)
+    with pytest.raises(StateError):
+        store.split_shard(-1)
+
+
+def test_verify_partition_catches_a_misrouted_record():
+    store = _warm_store(shards=2)
+    store.split_shard(0)
+    donor = next(
+        shard
+        for shard in range(store.shard_count)
+        if store.write_log(shards=[shard])
+    )
+    recipient = (donor + 1) % store.shard_count
+    record = store._shards[donor].log.pop()
+    store._shards[recipient].log.append(record)
+    problems = store.verify_partition()
+    assert problems  # the audit sees through the corrupted bookkeeping
+
+
+# ---------------------------------------------------------------------------
+# Unit level: the rebalancer's blocked-shard report
+# ---------------------------------------------------------------------------
+
+
+def test_rebalancer_reports_the_blocked_single_resident_shard():
+    rebalancer = LaneRebalancer(ControlPolicy(policy="adaptive"))
+    # Lane 0 is hot because of exactly one shard: no move helps, so the
+    # rebalancer stays quiet but *reports* the shard for split-or-back-off.
+    assert rebalancer.rebalance([30.0, 2.0], [29, 1, 1, 1], [0, 1, 1, 1]) == []
+    assert rebalancer.blocked_shard == 0
+    # A balanced call clears the report.
+    assert rebalancer.rebalance([10.0, 10.0], [5, 5], [0, 1]) == []
+    assert rebalancer.blocked_shard is None
+
+
+# ---------------------------------------------------------------------------
+# Checker self-tests: forged phase-2 traces
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def quiet_deployment():
+    """An unexecuted deployment: real hierarchy/nodes, empty ledgers."""
+    return make_deployment()
+
+
+def _forge(deployment):
+    domain = deployment.hierarchy.height1_domains()[0]
+    nodes = [node.address for node in deployment.nodes_of(domain.id)]
+    return domain.id.name, nodes, TraceRecorder()
+
+
+def _lease(trace, at, domain, node, action, tid, **extra):
+    trace.record(
+        "control:lease", at_ms=at, domain=domain, node=node,
+        tid=tid, action=action, coordinator="D19", **extra,
+    )
+
+
+class TestLeaseSafetyPass:
+    def test_legal_lifecycle_passes(self, quiet_deployment):
+        domain, nodes, trace = _forge(quiet_deployment)
+        node = nodes[0]
+        _lease(trace, 1.0, domain, node, "grant", "t1", lease_ms=50.0)
+        trace.record("handoff:prepared", at_ms=2.0, domain=domain, node=node,
+                     tid="t1", slot=7)
+        trace.record("handoff:group-prepared", at_ms=2.0, domain=domain,
+                     node=node, gid=5, slot=7, tids=["t2"])
+        _lease(trace, 2.0, domain, node, "adopt", "t1", gid=5, slot=7)
+        _lease(trace, 3.0, domain, node, "grant", "t2", lease_ms=50.0)
+        _lease(trace, 4.0, domain, node, "expire", "t2")
+        _lease(trace, 5.0, domain, node, "grant", "t3", lease_ms=50.0)
+        _lease(trace, 6.0, domain, node, "drop", "t3")
+        report = InvariantChecker(quiet_deployment, trace=trace).check()
+        assert "lease-safety" in report.checks_run
+        assert not report.of("lease-safety")
+
+    def test_resolution_without_a_grant_is_flagged(self, quiet_deployment):
+        domain, nodes, trace = _forge(quiet_deployment)
+        _lease(trace, 1.0, domain, nodes[0], "expire", "t1")
+        _lease(trace, 2.0, domain, nodes[0], "adopt", "t2", gid=1, slot=3)
+        report = InvariantChecker(quiet_deployment, trace=trace).check()
+        assert len(report.of("lease-safety")) == 2
+
+    def test_stacked_grant_is_flagged(self, quiet_deployment):
+        domain, nodes, trace = _forge(quiet_deployment)
+        _lease(trace, 1.0, domain, nodes[0], "grant", "t1", lease_ms=50.0)
+        _lease(trace, 2.0, domain, nodes[0], "grant", "t1", lease_ms=50.0)
+        report = InvariantChecker(quiet_deployment, trace=trace).check()
+        assert report.of("lease-safety")
+
+    def test_adoption_without_a_prepared_vote_is_flagged(self, quiet_deployment):
+        domain, nodes, trace = _forge(quiet_deployment)
+        _lease(trace, 1.0, domain, nodes[0], "grant", "t1", lease_ms=50.0)
+        _lease(trace, 2.0, domain, nodes[0], "adopt", "t1", gid=5, slot=7)
+        report = InvariantChecker(quiet_deployment, trace=trace).check()
+        assert any(
+            "handoff:prepared" in violation.detail
+            for violation in report.of("lease-safety")
+        )
+
+    def test_adoption_on_the_wrong_slot_is_flagged(self, quiet_deployment):
+        domain, nodes, trace = _forge(quiet_deployment)
+        node = nodes[0]
+        _lease(trace, 1.0, domain, node, "grant", "t1", lease_ms=50.0)
+        trace.record("handoff:prepared", at_ms=2.0, domain=domain, node=node,
+                     tid="t1", slot=7)
+        trace.record("handoff:group-prepared", at_ms=2.0, domain=domain,
+                     node=node, gid=5, slot=9, tids=["t2"])
+        _lease(trace, 2.0, domain, node, "adopt", "t1", gid=5, slot=7)
+        report = InvariantChecker(quiet_deployment, trace=trace).check()
+        assert any(
+            "slot" in violation.detail for violation in report.of("lease-safety")
+        )
+
+
+def _split(trace, at, domain, node, parent, child):
+    trace.record("control:split", at_ms=at, domain=domain, node=node,
+                 shard=parent, child=child, to_lane=0, streak=2,
+                 writes_parent=10, writes_child=10)
+
+
+class TestSplitPartitionPass:
+    def test_wellformed_replicated_splits_pass(self, quiet_deployment):
+        domain, nodes, trace = _forge(quiet_deployment)
+        for node in nodes[:2]:
+            _split(trace, 1.0, domain, node, 0, 2)
+            _split(trace, 2.0, domain, node, 2, 3)
+        report = InvariantChecker(quiet_deployment, trace=trace).check()
+        assert "split-partition" in report.checks_run
+        assert not report.of("split-partition")
+
+    def test_child_index_reuse_and_self_split_are_flagged(self, quiet_deployment):
+        domain, nodes, trace = _forge(quiet_deployment)
+        _split(trace, 1.0, domain, nodes[0], 0, 2)
+        _split(trace, 2.0, domain, nodes[0], 1, 2)  # reused child index
+        _split(trace, 3.0, domain, nodes[0], 3, 3)  # parent == child
+        report = InvariantChecker(quiet_deployment, trace=trace).check()
+        assert len(report.of("split-partition")) == 2
+
+    def test_replica_split_divergence_is_flagged_when_fault_free(
+        self, quiet_deployment
+    ):
+        domain, nodes, trace = _forge(quiet_deployment)
+        _split(trace, 1.0, domain, nodes[0], 0, 2)
+        _split(trace, 2.0, domain, nodes[0], 2, 3)
+        _split(trace, 1.0, domain, nodes[1], 1, 2)  # different history
+        report = InvariantChecker(quiet_deployment, trace=trace).check()
+        assert any(
+            "prefix" in violation.detail
+            for violation in report.of("split-partition")
+        )
+
+    def test_replica_divergence_is_excused_under_faults(self, quiet_deployment):
+        domain, nodes, trace = _forge(quiet_deployment)
+        _split(trace, 1.0, domain, nodes[0], 0, 2)
+        _split(trace, 1.0, domain, nodes[1], 1, 2)
+        trace.record("fault:wipe", at_ms=0.5, domain=domain, node=nodes[1])
+        report = InvariantChecker(quiet_deployment, trace=trace).check()
+        assert not report.of("split-partition")
+
+
+def _shed(trace, at, domain, node, action, **extra):
+    trace.record("control:shed", at_ms=at, domain=domain, node=node,
+                 action=action, **extra)
+
+
+class TestShedAccountingPass:
+    def test_legal_valve_cycle_passes(self, quiet_deployment):
+        domain, nodes, trace = _forge(quiet_deployment)
+        node = nodes[0]
+        _shed(trace, 1.0, domain, node, "on", windows=4, decide_latency_ms=9.0)
+        trace.record("control:shed", at_ms=2.0, domain=domain, node=node,
+                     tid="t1", action="reject")
+        _shed(trace, 3.0, domain, node, "off", decide_latency_ms=1.0)
+        report = InvariantChecker(quiet_deployment, trace=trace).check()
+        assert "shed-accounting" in report.checks_run
+        assert not report.of("shed-accounting")
+
+    def test_reject_while_the_valve_is_off_is_flagged(self, quiet_deployment):
+        domain, nodes, trace = _forge(quiet_deployment)
+        trace.record("control:shed", at_ms=1.0, domain=domain, node=nodes[0],
+                     tid="t1", action="reject")
+        report = InvariantChecker(quiet_deployment, trace=trace).check()
+        assert report.of("shed-accounting")
+
+    def test_premature_valve_open_is_flagged(self, quiet_deployment):
+        # The deployment's nodes run the default policy (shed_after_windows=4):
+        # a valve that opened after fewer overrun windows jumped the gun.
+        domain, nodes, trace = _forge(quiet_deployment)
+        _shed(trace, 1.0, domain, nodes[0], "on", windows=2,
+              decide_latency_ms=9.0)
+        report = InvariantChecker(quiet_deployment, trace=trace).check()
+        assert report.of("shed-accounting")
+
+    def test_double_flips_are_flagged(self, quiet_deployment):
+        domain, nodes, trace = _forge(quiet_deployment)
+        node = nodes[0]
+        _shed(trace, 1.0, domain, node, "on", windows=4, decide_latency_ms=9.0)
+        _shed(trace, 2.0, domain, node, "on", windows=4, decide_latency_ms=9.0)
+        _shed(trace, 3.0, domain, node, "off", decide_latency_ms=1.0)
+        _shed(trace, 4.0, domain, node, "off", decide_latency_ms=1.0)
+        report = InvariantChecker(quiet_deployment, trace=trace).check()
+        assert len(report.of("shed-accounting")) == 2
+
+    def test_shedding_an_applied_transaction_is_flagged(self, quiet_deployment):
+        domain, nodes, trace = _forge(quiet_deployment)
+        node = nodes[0]
+        trace.record("append", at_ms=0.5, domain=domain, node=node, tid="t1")
+        _shed(trace, 1.0, domain, node, "on", windows=4, decide_latency_ms=9.0)
+        trace.record("control:shed", at_ms=2.0, domain=domain, node=node,
+                     tid="t1", action="reject")
+        report = InvariantChecker(quiet_deployment, trace=trace).check()
+        assert any(
+            "already applied" in violation.detail
+            for violation in report.of("shed-accounting")
+        )
+
+
+# ---------------------------------------------------------------------------
+# End to end: splitting, back-off, leases, shedding
+# ---------------------------------------------------------------------------
+
+
+def _hot_run(name, **overrides):
+    scenario = registry.get(name).with_overrides(
+        num_transactions=300, **overrides
+    )
+    return ScenarioRunner(check_invariants=True).execute(scenario, seed=1)
+
+
+def test_white_hot_run_splits_and_passes_invariants():
+    run = _hot_run("zipf-hot-split")
+    splits = run.trace.events("control:split")
+    assert splits  # the blocked hot shard actually split
+    for event in splits:
+        assert event.get("shard") != event.get("child")
+    # Replicas of one domain split identically (checker proves the prefix
+    # rule; the full-equality case must hold here — no faults, no stragglers).
+    by_node = {}
+    for event in splits:
+        by_node.setdefault(event.node, []).append(
+            (event.get("shard"), event.get("child"))
+        )
+    domains = {}
+    for node, sequence in by_node.items():
+        domains.setdefault(node.split("/")[0], set()).add(tuple(sequence))
+    assert all(len(histories) == 1 for histories in domains.values())
+    assert run.summary.pending == 0
+
+
+def test_blocked_rebalancer_backs_off_instead_of_livelocking():
+    run = _hot_run("zipf-hot-nosplit")
+    assert not run.trace.events("control:split")  # knob off -> no splits
+    blocked = [
+        (node, node.control)
+        for node in run.deployment.nodes.values()
+        if node.control is not None and node.control._blocked_streak > 0
+    ]
+    assert blocked  # the white-hot shard blocked the single-resident guard
+    for node, plane in blocked:
+        windows = node.simulator.now / plane.policy.interval_ms
+        # Exponential back-off engaged and capped; without it the plane
+        # would re-run the identical no-op evaluation every window.
+        assert plane._backoff_exp == 5
+        assert plane.rebalance_evals < windows / 8
+        assert plane.splits == 0
+
+
+def test_lease_rejoin_grants_and_adopts_leases():
+    run = ScenarioRunner(check_invariants=True).execute(registry.get("lease-rejoin"))
+    actions = Counter(
+        event.get("action") for event in run.trace.events("control:lease")
+    )
+    assert actions["grant"] > 0
+    assert actions["adopt"] > 0  # held members re-joined a following group
+    assert actions["grant"] == (
+        actions["adopt"] + actions["expire"] + actions["drop"]
+    )
+    assert run.summary.pending == 0
+
+
+def test_starved_latency_target_flips_the_valve_without_losing_transactions():
+    shedding = ControlPolicy(
+        policy="adaptive",
+        interval_ms=2.0,
+        batch_increase=16,
+        target_decide_latency_ms=0.5,  # unreachable: every window overruns
+        shed=True,
+        shed_after_windows=2,
+    )
+    run = _hot_run("zipf-hot-nosplit", control=shedding)
+    actions = Counter(
+        event.get("action") for event in run.trace.events("control:shed")
+    )
+    assert actions["on"] > 0 and actions["off"] > 0
+    assert actions["reject"] > 0  # admissions were actually refused
+    # The closed loop drains fully: every client got an answer for every
+    # transaction, shed ones included (as failed replies, later retried).
+    assert run.summary.pending == 0
+    assert run.summary.committed + run.summary.aborted == 300
+
+
+# ---------------------------------------------------------------------------
+# Differential gate: phase-2 knobs off == the PR 9 tree, bit for bit
+# ---------------------------------------------------------------------------
+
+#: sha256 of (result json, trace json) for scaled zipf-sweep runs, captured
+#: on the PR 9 tree (commit before any phase-2 code).  ``static`` pins the
+#: untouched fast path; ``adaptive`` pins the live control plane with every
+#: phase-2 knob at its off default.
+PR9_DIFFERENTIAL_GOLDENS = {
+    "static-1": ("12a270f0d2fb376b9d1f495379bc490e6714c8a87325578da1567c89a2fcf65d",
+                 "560bb58bad80211e9e78b7472e6201a8b43b4808c6d67b40b8362585c8fd4977"),
+    "static-2": ("1276153cf74bc798e50ea759761c0df4e4678b82b95bfecbd8c7a4a6a16ef803",
+                 "6ecfc5034952df18d6e81f38c16bb8b93fd28affb0924b3df4bd4c221af22db1"),
+    "static-3": ("7a2178eb398ca5541f305b228357baa40ff9071ab9031c4ff279b3a9c4b137a9",
+                 "c72e908107b8f00098f4eaa59c887949bab28710d5644c574cceccd86a402660"),
+    "static-4": ("3853603ded9287168c9eca4d1bdb2db8cf628095c75c7128183dfc4e5644de95",
+                 "51e4186c271f64693b6995f584a31d38c525c6c72267c9ddd8033cc5955b4fc4"),
+    "static-5": ("74920cab3c0577f345470a1707e5a93407660819e7274f60e9759c35aa9e081c",
+                 "10d892744736016fed8bdd0635539fd7845414e9fdbc33ed6ec37441f3b4a2ac"),
+    "static-6": ("99b7a1ba36f54d8312f85bf19b06d470a2ab2e6b68764846e1cd85fc5389fef0",
+                 "3831f5e0b008ba3a073cd946e76f634fb5f2010d5df7c7f2230917e2505a76f7"),
+    "static-7": ("c57b4290a310ddd2adc8780a6889f8fca0cd982091c53be48fa5a94e79cd5c0f",
+                 "434aa595cf0c3815b45d23381d0b9628a56f05fc1fb0c6b5573d862e4223ed69"),
+    "static-8": ("e93d4bae1a38412b96b45234417263a16add1b1ae3066e86ba97cc155297acb6",
+                 "2d5e88a750846de7a0f61f6e3cf4e6f267f9cb773d235fa2e59b70dd45e0a607"),
+    "static-9": ("faa1407cb5277d1858e068b45ad1ac4d7ea9c1564cbfc1c2e16f2103a4ea4ef5",
+                 "977cf5f0c0a313336e61381920cd937f31d86ff512131cd035894e0a1df5c167"),
+    "static-10": ("04c22b43a2a1f4e8903aec080ec3b0e62e555cc03777334087af469bb08d1998",
+                  "1e87a70bb94db3f36b010bc5d3e9d5cfb3ac0c3e8f07886ba5ab4b51699fbd0d"),
+    "adaptive-1": ("2b273e53f7d9a9c08cf6c00f0f1ad4c4ae4732f8466e2085f5923dd505db0eb0",
+                   "e0e473634e2ef23aad40b53c2c3d559552d755021de3e69083f8e7dfc7005378"),
+    "adaptive-2": ("709e4bd65f0fc25d55e7f3aa58f11fc987fd22c436298291ed8d3df258a7fe77",
+                   "f032ed82a60c2b5ae0e0b67884ad52a582490685e2d45b1db7b544e5ed4b7d30"),
+    "adaptive-3": ("c361427c821c0ed541bf98b7e9dbada40b86f5ec893786955527a43902601b91",
+                   "f3bf546e1275596f9dd71bf936bb85106fda8d722f3e87fa0238987c96fd7e76"),
+    "adaptive-4": ("0db330d262ce00c181f2b2645fef1415ab60c69635021274251573094aec46cc",
+                   "4dbe6a75782bda0a6c6ae98ce254cd156864ac9c1ff68816f72ba791cadfbbc6"),
+    "adaptive-5": ("a015fb3891c0011f541016a7e1fdb00fc5b3490b58f9472011e9b04729d216ac",
+                   "7593edf62ecb7cd492d6192d7fd26238a868cbd4c8f15b928afaefe2e6891d39"),
+    "adaptive-6": ("8cb9fc0a7808b990e73b993471597092b828891e5add3475904ab4ed4f3c1538",
+                   "93b8d8311399500d407a00001e24ff6776d3a024ed839a56aaa6b31839baf15d"),
+    "adaptive-7": ("1be2d5d43312b6a34aa993cefad513c737f474b137746b43071d0f6acd175a4c",
+                   "3a9a22361609f481a97fd79d0b160289e631688b594db9c2ad31ddb3f654d402"),
+    "adaptive-8": ("b5a301dc2a0aae43dfe32b770f02ae79529d36048fde0bc7d03285886365ca0b",
+                   "3372e86dd1aae43b78d33df5c407c715c791964f846ff5ec7d11ef635eda9348"),
+    "adaptive-9": ("aa745590f6921941297bbb75c1f1e8d7338cd39ea423ae1218a8e2d49968040e",
+                   "c93957ae6b898769b5b666404026d6f2196d0faa68d7166539f337af1054d19d"),
+    "adaptive-10": ("ae1203d0251ee186d59e904cceaab7c9fff14789c9ba6b5d835b9d138cd46280",
+                    "f4a28cc97252a54cf7fc0ab8e9d46f52fdcec6de88faabb01143409eb6898492"),
+}
+
+
+@pytest.mark.parametrize("key", sorted(PR9_DIFFERENTIAL_GOLDENS))
+def test_phase2_off_is_bit_identical_to_the_pr9_tree(key):
+    kind, seed = key.rsplit("-", 1)
+    name, ntx, ncl = (
+        ("zipf-sweep", 24, 4) if kind == "static" else ("zipf-sweep-adaptive", 48, 8)
+    )
+    scenario = registry.get(name).with_overrides(
+        num_transactions=ntx, num_clients=ncl
+    )
+    run = ScenarioRunner().execute(scenario, seed=int(seed))
+    result_digest = hashlib.sha256(
+        json.dumps(run.run().to_dict(), sort_keys=True).encode()
+    ).hexdigest()
+    trace_digest = hashlib.sha256(run.trace.to_json().encode()).hexdigest()
+    assert (result_digest, trace_digest) == PR9_DIFFERENTIAL_GOLDENS[key]
+    # And no phase-2 event ever leaks into a knobs-off run.
+    for kind_ in ("control:lease", "control:split", "control:shed"):
+        assert not run.trace.events(kind_)
